@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_tables Cedar_disk Format List Micro Printf Setup Sys

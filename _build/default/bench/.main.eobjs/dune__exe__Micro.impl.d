@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Cedar_cfs Cedar_fsbase Cedar_fsd Cedar_unixfs Cedar_util Char Hashtbl Instance List Measure Printf Setup Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/setup.ml: Bytes Cedar_cfs Cedar_disk Cedar_fsbase Cedar_fsd Cedar_unixfs Cedar_util Cedar_workload Char Device Geometry Printf Rng Simclock String

@@ -1,0 +1,45 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe            -- reproduce every paper table
+   dune exec bench/main.exe -- table2  -- one table (table1..table5,
+                                          recovery, group-commit,
+                                          log-records, vam, model, log-util)
+   dune exec bench/main.exe -- --micro -- Bechamel microbenchmarks too *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|all] [--micro]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro = List.mem "--micro" args in
+  let targets = List.filter (fun a -> a <> "--micro") args in
+  print_endline
+    "Reimplementing the Cedar File System Using Logging and Group Commit";
+  print_endline "(Hagmann, SOSP 1987) -- reproduction harness";
+  Printf.printf "simulated disk: %s\n"
+    (Format.asprintf "%a" Cedar_disk.Geometry.pp Setup.geom);
+  let run = function
+    | "table1" -> Bench_tables.table1 ()
+    | "table2" -> Bench_tables.table2 ()
+    | "table3" -> Bench_tables.table3 ()
+    | "table4" -> Bench_tables.table4 ()
+    | "table5" -> Bench_tables.table5 ()
+    | "recovery" -> Bench_tables.recovery ()
+    | "group-commit" -> Bench_tables.group_commit ()
+    | "log-records" -> Bench_tables.log_records ()
+    | "vam" -> Bench_tables.vam_rebuild ()
+    | "model" -> Bench_tables.model_validation ()
+    | "log-util" -> Bench_tables.log_utilization ()
+    | "vam-logging" -> Bench_tables.vam_logging ()
+    | "log-size" -> Bench_tables.log_size ()
+    | "fragmentation" -> Bench_tables.fragmentation ()
+    | "all" -> Bench_tables.all ()
+    | _ -> usage ()
+  in
+  (match targets with [] -> Bench_tables.all () | ts -> List.iter run ts);
+  if micro then begin
+    Setup.hr "Bechamel microbenchmarks (host time per operation)";
+    Micro.run ()
+  end

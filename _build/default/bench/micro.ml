@@ -1,0 +1,91 @@
+(* Bechamel microbenchmarks: one Test.make per paper table, measuring the
+   real (host) cost of the code path that table exercises. These gauge
+   the implementation itself, while Bench_tables measures simulated disk
+   time. *)
+
+open Bechamel
+open Toolkit
+
+let payload n = Bytes.init n (fun j -> Char.chr (j mod 251))
+
+(* Table 1 is structural: benchmark the codecs it describes. *)
+let t1_entry_codec =
+  let entry =
+    Cedar_fsbase.Entry.local ~uid:42L ~keep:2 ~byte_size:1234 ~created:99
+      ~runs:(Cedar_fsbase.Run_table.of_runs [ { Cedar_fsbase.Run_table.start = 100; len = 8 } ])
+      ~anchor:99
+  in
+  Test.make ~name:"table1/entry-codec"
+    (Staged.stage (fun () ->
+         Cedar_fsbase.Entry.decode (Cedar_fsbase.Entry.encode entry)))
+
+(* Table 2's headline row: an FSD small create. *)
+let t2_fsd_create =
+  Test.make_with_resource ~name:"table2/fsd-small-create" Test.multiple
+    ~allocate:(fun () ->
+      let counter = ref 0 in
+      (snd (Setup.fsd_volume ()), counter))
+    ~free:(fun _ -> ())
+    (Staged.stage (fun (fs, counter) ->
+         incr counter;
+         ignore
+           (Cedar_fsd.Fsd.create fs
+              ~name:(Printf.sprintf "bench/m%06d" !counter)
+              (payload 900))))
+
+(* Table 3's bulk row: creates through the generic interface on CFS. *)
+let t3_cfs_create =
+  Test.make_with_resource ~name:"table3/cfs-small-create" Test.multiple
+    ~allocate:(fun () ->
+      let counter = ref 0 in
+      (snd (Setup.cfs_volume ()), counter))
+    ~free:(fun _ -> ())
+    (Staged.stage (fun (fs, counter) ->
+         incr counter;
+         ignore
+           (Cedar_cfs.Cfs.create fs
+              ~name:(Printf.sprintf "bench/m%06d" !counter)
+              (payload 900))))
+
+(* Table 4's comparison point: a BSD create with synchronous metadata. *)
+let t4_ufs_create =
+  Test.make_with_resource ~name:"table4/ufs-create" Test.multiple
+    ~allocate:(fun () ->
+      let counter = ref 0 in
+      (snd (Setup.ufs_volume Cedar_unixfs.Ufs_params.default), counter))
+    ~free:(fun _ -> ())
+    (Staged.stage (fun (fs, counter) ->
+         incr counter;
+         ignore
+           (Cedar_unixfs.Ufs.create fs
+              ~path:(Printf.sprintf "bench/m%06d" !counter)
+              (payload 900))))
+
+(* Table 5 moves bulk data: benchmark the per-sector checksum that guards
+   every transfer. *)
+let t5_crc =
+  let block = payload 4096 in
+  Test.make ~name:"table5/crc32-4k"
+    (Staged.stage (fun () -> Cedar_util.Crc32.bytes block))
+
+let run () =
+  let tests =
+    [ t1_entry_codec; t2_fsd_create; t3_cfs_create; t4_ufs_create; t5_crc ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %10.0f ns/op\n" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+        ols)
+    tests

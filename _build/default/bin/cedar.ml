@@ -1,0 +1,296 @@
+(* cedar -- a command-line tool over simulated Cedar volumes stored as
+   disk-image files.
+
+     cedar mkfs vol.img                  create an FSD volume
+     cedar mkfs --fs cfs vol.img         create a CFS volume
+     cedar put vol.img name < file       store stdin as a new version
+     cedar get vol.img name > file       print the newest version
+     cedar ls vol.img [prefix]           list files with properties
+     cedar rm vol.img name               delete the newest version
+     cedar info vol.img                  volume summary + structural check
+     cedar crash vol.img                 mark the volume as not shut down
+     cedar recover vol.img               boot (FSD: log replay; CFS: scavenge)
+
+   Mutating commands shut the file system down cleanly before saving the
+   image; [crash] deliberately skips that, so the next boot exercises
+   recovery. *)
+
+open Cedar_util
+open Cedar_disk
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("cedar: " ^ s); exit 1) fmt
+
+let load_device path =
+  if not (Sys.file_exists path) then fail "no such image: %s" path;
+  let ic = open_in_bin path in
+  let d = Device.load ~clock:(Simclock.create ()) ic in
+  close_in ic;
+  d
+
+let save_device device path =
+  let oc = open_out_bin path in
+  Device.dump device oc;
+  close_out oc
+
+type vol = Fsd_vol of Cedar_fsd.Fsd.t | Cfs_vol of Cedar_cfs.Cfs.t
+
+(* Which system formatted this image? Probe the boot-page magic. *)
+let detect device =
+  match Cedar_fsd.Boot_page.read device with
+  | Some _ -> `Fsd
+  | None -> `Cfs
+
+let boot_vol device =
+  match detect device with
+  | `Fsd ->
+    let fs, report = Cedar_fsd.Fsd.boot device in
+    if report.Cedar_fsd.Fsd.replayed_records > 0 then
+      Printf.eprintf "(recovery replayed %d log records in %.2f s)\n"
+        report.Cedar_fsd.Fsd.replayed_records
+        (Simclock.s_of_us report.Cedar_fsd.Fsd.log_replay_us);
+    Fsd_vol fs
+  | `Cfs -> (
+    match Cedar_cfs.Cfs.boot device with
+    | `Ok fs -> Cfs_vol fs
+    | `Needs_scavenge ->
+      Printf.eprintf "(volume was not shut down cleanly: scavenging)\n";
+      let fs, r = Cedar_cfs.Cfs.scavenge device in
+      Printf.eprintf "(scavenge recovered %d files, lost %d, %.1f s)\n"
+        r.Cedar_cfs.Cfs.files_recovered r.Cedar_cfs.Cfs.files_lost
+        (Simclock.s_of_us r.Cedar_cfs.Cfs.duration_us);
+      Cfs_vol fs)
+
+let ops_of = function
+  | Fsd_vol fs -> Cedar_fsd.Fsd.ops fs
+  | Cfs_vol fs -> Cedar_cfs.Cfs.ops fs
+
+let shutdown_vol = function
+  | Fsd_vol fs -> Cedar_fsd.Fsd.shutdown fs
+  | Cfs_vol fs -> Cedar_cfs.Cfs.shutdown fs
+
+let guard f =
+  try f ()
+  with Cedar_fsbase.Fs_error.Fs_error e ->
+    fail "%s" (Cedar_fsbase.Fs_error.to_string e)
+
+let with_volume ?(save = true) path f =
+  guard (fun () ->
+      let device = load_device path in
+      let vol = boot_vol device in
+      let result = f vol in
+      if save then begin
+        shutdown_vol vol;
+        save_device device path
+      end;
+      result)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+
+let geometry_of = function
+  | "t300" -> Geometry.trident_t300
+  | "small" -> Geometry.small_test
+  | g -> fail "unknown geometry %S (t300|small)" g
+
+let cmd_mkfs path fs_kind geom_name log_vam track_tolerant =
+  let geom = geometry_of geom_name in
+  let device = Device.create ~clock:(Simclock.create ()) geom in
+  (match fs_kind with
+  | "fsd" ->
+    let p =
+      {
+        (Cedar_fsd.Params.for_geometry geom) with
+        Cedar_fsd.Params.log_vam;
+        track_tolerant_log = track_tolerant;
+      }
+    in
+    Cedar_fsd.Fsd.format device p
+  | "cfs" ->
+    if log_vam || track_tolerant then
+      fail "--log-vam/--track-tolerant are FSD extensions";
+    Cedar_cfs.Cfs.format device (Cedar_cfs.Cfs_layout.params_for_geometry geom)
+  | k -> fail "unknown file system %S (fsd|cfs)" k);
+  save_device device path;
+  Printf.printf "formatted %s as %s on %s%s%s\n" path fs_kind
+    (Format.asprintf "%a" Geometry.pp geom)
+    (if log_vam then " +vam-logging" else "")
+    (if track_tolerant then " +track-tolerant-log" else "")
+
+let read_stdin () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 1
+     done
+   with End_of_file -> ());
+  Buffer.to_bytes buf
+
+let cmd_put path name =
+  let data = read_stdin () in
+  with_volume path (fun vol ->
+      let ops = ops_of vol in
+      let info = ops.Cedar_fsbase.Fs_ops.create ~name ~data in
+      Printf.printf "%s!%d  %d bytes\n" info.Cedar_fsbase.Fs_ops.name
+        info.Cedar_fsbase.Fs_ops.version info.Cedar_fsbase.Fs_ops.byte_size)
+
+let cmd_get path name =
+  with_volume ~save:false path (fun vol ->
+      let ops = ops_of vol in
+      print_bytes (ops.Cedar_fsbase.Fs_ops.read_all ~name))
+
+let cmd_ls path prefix =
+  with_volume ~save:false path (fun vol ->
+      let ops = ops_of vol in
+      List.iter
+        (fun i ->
+          Printf.printf "%8d  %s!%d\n" i.Cedar_fsbase.Fs_ops.byte_size
+            i.Cedar_fsbase.Fs_ops.name i.Cedar_fsbase.Fs_ops.version)
+        (ops.Cedar_fsbase.Fs_ops.list ~prefix))
+
+let cmd_rm path name =
+  with_volume path (fun vol ->
+      let ops = ops_of vol in
+      ops.Cedar_fsbase.Fs_ops.delete ~name;
+      Printf.printf "deleted newest version of %s\n" name)
+
+let cmd_info path =
+  with_volume ~save:false path (fun vol ->
+      match vol with
+      | Fsd_vol fs ->
+        let layout = Cedar_fsd.Fsd.layout fs in
+        Printf.printf "FSD volume on %s\n"
+          (Format.asprintf "%a" Geometry.pp layout.Cedar_fsd.Layout.geom);
+        Printf.printf "layout: %s\n"
+          (Format.asprintf "%a" Cedar_fsd.Layout.pp layout);
+        Printf.printf "free sectors: %d\n" (Cedar_fsd.Fsd.free_sectors fs);
+        Printf.printf "files: %d\n"
+          (List.length ((Cedar_fsd.Fsd.ops fs).Cedar_fsbase.Fs_ops.list ~prefix:""));
+        (match Cedar_fsd.Fsd.check fs with
+        | Ok () -> print_endline "structural check: ok"
+        | Error m -> Printf.printf "structural check FAILED: %s\n" m)
+      | Cfs_vol fs ->
+        Printf.printf "CFS volume\n";
+        Printf.printf "free sector hints: %d\n" (Cedar_cfs.Cfs.free_sector_hints fs);
+        Printf.printf "files: %d\n"
+          (List.length ((Cedar_cfs.Cfs.ops fs).Cedar_fsbase.Fs_ops.list ~prefix:""));
+        (match Cedar_cfs.Cfs.check fs with
+        | Ok () -> print_endline "structural check: ok"
+        | Error m -> Printf.printf "structural check FAILED: %s\n" m))
+
+(* Simulate an operator hitting the big red switch: boot the volume and
+   save it again WITHOUT a clean shutdown. *)
+let cmd_crash path =
+  guard @@ fun () ->
+  let device = load_device path in
+  let vol = boot_vol device in
+  let ops = ops_of vol in
+  (* a little uncommitted work makes the next recovery interesting *)
+  ignore (ops.Cedar_fsbase.Fs_ops.create ~name:"crash-marker" ~data:(Bytes.create 42));
+  save_device device path;
+  Printf.printf "%s now looks like a crashed volume (uncommitted create pending)\n" path
+
+let cmd_inspect path =
+  with_volume ~save:false path (fun vol ->
+      match vol with
+      | Fsd_vol fs -> print_string (Cedar_fsd.Inspect.volume_report fs)
+      | Cfs_vol _ -> fail "inspect currently supports FSD volumes")
+
+let cmd_recover path =
+  guard @@ fun () ->
+  let device = load_device path in
+  (match detect device with
+  | `Fsd ->
+    let fs, r = Cedar_fsd.Fsd.boot device in
+    Printf.printf
+      "FSD recovery: %d records, %d pages home, %d corrected sectors, VAM %s; %.2f s total\n"
+      r.Cedar_fsd.Fsd.replayed_records r.Cedar_fsd.Fsd.replayed_pages
+      r.Cedar_fsd.Fsd.corrected_sectors
+      (match r.Cedar_fsd.Fsd.vam_source with
+      | Cedar_fsd.Fsd.Vam_loaded -> "loaded"
+      | Cedar_fsd.Fsd.Vam_replayed -> "replayed from the log"
+      | Cedar_fsd.Fsd.Vam_reconstructed -> "reconstructed")
+      (Simclock.s_of_us r.Cedar_fsd.Fsd.total_us);
+    Cedar_fsd.Fsd.shutdown fs
+  | `Cfs ->
+    let fs, r = Cedar_cfs.Cfs.scavenge device in
+    Printf.printf "CFS scavenge: %d files recovered, %d lost, %.1f s\n"
+      r.Cedar_cfs.Cfs.files_recovered r.Cedar_cfs.Cfs.files_lost
+      (Simclock.s_of_us r.Cedar_cfs.Cfs.duration_us);
+    Cedar_cfs.Cfs.shutdown fs);
+  save_device device path
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+
+open Cmdliner
+
+let img = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+let name_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME")
+
+let mkfs_cmd =
+  let fs_kind =
+    Arg.(value & opt string "fsd" & info [ "fs" ] ~docv:"FS" ~doc:"fsd or cfs")
+  in
+  let geom =
+    Arg.(value & opt string "t300" & info [ "geometry" ] ~docv:"G" ~doc:"t300 or small")
+  in
+  let log_vam =
+    Arg.(value & flag & info [ "log-vam" ] ~doc:"enable the VAM-logging extension")
+  in
+  let track_tolerant =
+    Arg.(
+      value & flag
+      & info [ "track-tolerant" ] ~doc:"log records survive whole-track losses")
+  in
+  Cmd.v (Cmd.info "mkfs" ~doc:"create a fresh volume image")
+    Term.(const cmd_mkfs $ img $ fs_kind $ geom $ log_vam $ track_tolerant)
+
+let put_cmd =
+  Cmd.v (Cmd.info "put" ~doc:"store stdin as a new version of NAME")
+    Term.(const cmd_put $ img $ name_arg)
+
+let get_cmd =
+  Cmd.v (Cmd.info "get" ~doc:"write the newest version of NAME to stdout")
+    Term.(const cmd_get $ img $ name_arg)
+
+let ls_cmd =
+  let prefix = Arg.(value & pos 1 string "" & info [] ~docv:"PREFIX") in
+  Cmd.v (Cmd.info "ls" ~doc:"list files") Term.(const cmd_ls $ img $ prefix)
+
+let rm_cmd =
+  Cmd.v (Cmd.info "rm" ~doc:"delete the newest version of NAME")
+    Term.(const cmd_rm $ img $ name_arg)
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"volume summary and structural check")
+    Term.(const cmd_info $ img)
+
+let crash_cmd =
+  Cmd.v (Cmd.info "crash" ~doc:"leave the volume in a crashed state")
+    Term.(const cmd_crash $ img)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"dump the volume's structures (log, name table, free map)")
+    Term.(const cmd_inspect $ img)
+
+let recover_cmd =
+  Cmd.v (Cmd.info "recover" ~doc:"run crash recovery (FSD log replay / CFS scavenge)")
+    Term.(const cmd_recover $ img)
+
+let () =
+  let doc = "simulated Cedar file-system volumes (Hagmann, SOSP 1987)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "cedar" ~doc)
+          [
+            mkfs_cmd;
+            put_cmd;
+            get_cmd;
+            ls_cmd;
+            rm_cmd;
+            info_cmd;
+            inspect_cmd;
+            crash_cmd;
+            recover_cmd;
+          ]))

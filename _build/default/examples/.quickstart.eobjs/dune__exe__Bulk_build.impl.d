@@ -1,0 +1,1 @@
+examples/bulk_build.ml: Cedar_cfs Cedar_disk Cedar_fsd Cedar_unixfs Cedar_util Cedar_workload Device Geometry Makedo Measure Printf Simclock

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Cedar_cfs Cedar_disk Cedar_fsd Cedar_util Char Device Fsd Geometry List Params Printf Simclock

@@ -1,0 +1,1 @@
+examples/design_model.ml: Cedar_disk Cedar_model Format Geometry List Ops Printf Script

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cedar_disk Cedar_fsbase Cedar_fsd Cedar_util Device Fs_ops Fsd Geometry List Params Printf Simclock String

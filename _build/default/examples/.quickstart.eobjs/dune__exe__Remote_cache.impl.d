@@ -1,0 +1,1 @@
+examples/remote_cache.ml: Cedar_cfs Cedar_disk Cedar_fsd Cedar_util Cedar_workload Device Fsd Geometry Iostats List Log Option Params Printf Remote Rng Simclock Stats

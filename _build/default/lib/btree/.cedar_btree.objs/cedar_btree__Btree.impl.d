@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Bytebuf Cedar_util Format List Printf String

@@ -1,0 +1,1 @@
+lib/cfs/cfs.mli: Cedar_disk Cedar_fsbase Cfs_layout

@@ -1,0 +1,1 @@
+lib/cfs/cfs_layout.ml: Cedar_disk Geometry

@@ -1,0 +1,1 @@
+lib/cfs/cfs_layout.mli: Cedar_disk

@@ -1,0 +1,1 @@
+lib/cfs/header.ml: Bytebuf Bytes Cedar_disk Cedar_fsbase Cedar_util Crc32 Label List Run_table

@@ -1,0 +1,1 @@
+lib/cfs/header.mli: Cedar_disk Cedar_fsbase

@@ -1,0 +1,1 @@
+lib/disk/device.ml: Bytebuf Bytes Cedar_util Char Geometry Hashtbl Iostats Label List Printf Rng Simclock

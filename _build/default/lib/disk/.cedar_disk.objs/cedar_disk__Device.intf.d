@@ -1,0 +1,1 @@
+lib/disk/device.mli: Cedar_util Geometry Iostats Label

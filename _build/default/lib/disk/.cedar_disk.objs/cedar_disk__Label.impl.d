@@ -1,0 +1,1 @@
+lib/disk/label.ml: Bytebuf Cedar_util Format Printf

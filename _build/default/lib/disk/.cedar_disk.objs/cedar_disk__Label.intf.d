@@ -1,0 +1,1 @@
+lib/disk/label.mli: Format

@@ -1,0 +1,391 @@
+open Cedar_util
+
+type fault_kind =
+  | Damaged
+  | Label_mismatch of { expected : Label.t; found : Label.t }
+
+exception Error of { sector : int; kind : fault_kind }
+exception Crash_during_write of { sector : int }
+
+type t = {
+  geom : Geometry.t;
+  clock : Simclock.t;
+  data : (int, bytes) Hashtbl.t; (* sparse; absent = all-zero, never written *)
+  labels : (int, Label.t) Hashtbl.t; (* absent = Label.free *)
+  damaged : (int, unit) Hashtbl.t;
+  stats : Iostats.t;
+  mutable head_cyl : int;
+  mutable write_crash : (int * int) option; (* sectors until trigger, tail *)
+  mutable observer : (rw:[ `R | `W ] -> sector:int -> count:int -> unit) option;
+}
+
+let create ~clock geom =
+  {
+    geom;
+    clock;
+    data = Hashtbl.create 4096;
+    labels = Hashtbl.create 4096;
+    damaged = Hashtbl.create 16;
+    stats = Iostats.create ();
+    head_cyl = 0;
+    write_crash = None;
+    observer = None;
+  }
+
+let geometry t = t.geom
+let clock t = t.clock
+let stats t = t.stats
+
+let check_sector t s =
+  if s < 0 || s >= Geometry.total_sectors t.geom then
+    invalid_arg (Printf.sprintf "Device: sector %d out of range" s)
+
+(* ------------------------------------------------------------------ *)
+(* Timing engine                                                       *)
+
+(* Rotational phase is derived from the clock, so the platter "keeps
+   spinning" between commands: an operation issued right after another on
+   the same track pays a full revolution unless the target sector is still
+   ahead of the head — exactly the lost-revolution effect of §6. *)
+
+let rot_phase_us t = Simclock.now t.clock mod Geometry.rotation_us t.geom
+
+let position t ~sector ~count ~charge_transfer =
+  let g = t.geom in
+  let chs = Geometry.to_chs g sector in
+  let dist = abs (chs.cyl - t.head_cyl) in
+  let seek = Geometry.seek_us g dist in
+  if dist > 0 then begin
+    t.stats.seeks <- t.stats.seeks + 1;
+    t.stats.seek_us <- t.stats.seek_us + seek
+  end;
+  Simclock.advance t.clock seek;
+  t.head_cyl <- chs.cyl;
+  (* Wait for the first target sector to rotate under the head. *)
+  let rot = Geometry.rotation_us g in
+  let sector_t = Geometry.sector_time_us g in
+  let target_start = chs.sector * sector_t in
+  let phase = rot_phase_us t in
+  let latency = (target_start - phase + rot) mod rot in
+  Simclock.advance t.clock latency;
+  t.stats.rotation_us <- t.stats.rotation_us + latency;
+  if charge_transfer then begin
+    (* Transfer [count] consecutive sectors, charging head switches and
+       track-to-track seeks at boundaries. *)
+    let transfer = ref 0 in
+    for i = 0 to count - 1 do
+      let s = sector + i in
+      if i > 0 then begin
+        let here = Geometry.to_chs g s and prev = Geometry.to_chs g (s - 1) in
+        if here.cyl <> prev.cyl then begin
+          (* Crossing a cylinder mid-run: short seek plus realignment. *)
+          transfer := !transfer + Geometry.seek_us g 1 + (rot / 2);
+          t.head_cyl <- here.cyl
+        end
+        else if here.head <> prev.head then
+          (* Head switch absorbed by format skew of one sector. *)
+          transfer := !transfer + g.Geometry.head_switch_us + sector_t
+      end;
+      transfer := !transfer + sector_t
+    done;
+    Simclock.advance t.clock !transfer;
+    t.stats.transfer_us <- t.stats.transfer_us + !transfer;
+    t.stats.busy_us <- t.stats.busy_us + seek + latency + !transfer
+  end
+  else t.stats.busy_us <- t.stats.busy_us + seek + latency
+
+let charge_read t ~sector ~count =
+  position t ~sector ~count ~charge_transfer:true;
+  t.stats.ios <- t.stats.ios + 1;
+  t.stats.reads <- t.stats.reads + 1;
+  t.stats.sectors_read <- t.stats.sectors_read + count;
+  match t.observer with Some f -> f ~rw:`R ~sector ~count | None -> ()
+
+let charge_write t ~sector ~count =
+  position t ~sector ~count ~charge_transfer:true;
+  t.stats.ios <- t.stats.ios + 1;
+  t.stats.writes <- t.stats.writes + 1;
+  t.stats.sectors_written <- t.stats.sectors_written + count;
+  match t.observer with Some f -> f ~rw:`W ~sector ~count | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Raw store                                                           *)
+
+let fetch t s =
+  match Hashtbl.find_opt t.data s with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.geom.Geometry.sector_bytes '\000'
+
+let store t s b = Hashtbl.replace t.data s (Bytes.copy b)
+
+let ensure_ok t s =
+  if Hashtbl.mem t.damaged s then raise (Error { sector = s; kind = Damaged })
+
+(* Write-crash bookkeeping: returns how many of [count] sectors may still
+   be written before the fault fires, or [count] if no fault is armed. *)
+let crash_budget t count =
+  match t.write_crash with
+  | None -> count
+  | Some (remaining, _) -> min remaining count
+
+let consume_write_budget t n =
+  match t.write_crash with
+  | None -> ()
+  | Some (remaining, tail) -> t.write_crash <- Some (remaining - n, tail)
+
+let fire_crash t ~sector ~tail =
+  t.write_crash <- None;
+  for i = 0 to tail - 1 do
+    let s = sector + i in
+    if s < Geometry.total_sectors t.geom then Hashtbl.replace t.damaged s ()
+  done;
+  raise (Crash_during_write { sector })
+
+(* ------------------------------------------------------------------ *)
+(* Plain sector I/O                                                    *)
+
+let read_run t ~sector ~count =
+  if count <= 0 then invalid_arg "Device.read_run";
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  charge_read t ~sector ~count;
+  for i = 0 to count - 1 do
+    ensure_ok t (sector + i)
+  done;
+  let sb = t.geom.Geometry.sector_bytes in
+  let out = Bytes.create (count * sb) in
+  for i = 0 to count - 1 do
+    Bytes.blit (fetch t (sector + i)) 0 out (i * sb) sb
+  done;
+  out
+
+let read t s = read_run t ~sector:s ~count:1
+
+let write_sectors t ~sector ~count ~get =
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  charge_write t ~sector ~count;
+  let budget = crash_budget t count in
+  for i = 0 to budget - 1 do
+    let s = sector + i in
+    store t s (get i);
+    Hashtbl.remove t.damaged s
+  done;
+  consume_write_budget t budget;
+  if budget < count then
+    match t.write_crash with
+    | Some (_, tail) -> fire_crash t ~sector:(sector + budget) ~tail
+    | None -> assert false
+
+let write_run t ~sector b =
+  let sb = t.geom.Geometry.sector_bytes in
+  if Bytes.length b = 0 || Bytes.length b mod sb <> 0 then
+    invalid_arg "Device.write_run: not a whole number of sectors";
+  let count = Bytes.length b / sb in
+  write_sectors t ~sector ~count ~get:(fun i -> Bytes.sub b (i * sb) sb)
+
+let write t s b =
+  if Bytes.length b <> t.geom.Geometry.sector_bytes then
+    invalid_arg "Device.write: not one sector";
+  write_sectors t ~sector:s ~count:1 ~get:(fun _ -> b)
+
+(* ------------------------------------------------------------------ *)
+(* Labeled I/O                                                         *)
+
+let label_of t s =
+  match Hashtbl.find_opt t.labels s with Some l -> l | None -> Label.free
+
+let read_label t s =
+  check_sector t s;
+  (* A label read is a positioning plus a (sub-sector) transfer; charge one
+     sector time as the microcode must see the whole sector pass by. *)
+  charge_read t ~sector:s ~count:1;
+  t.stats.label_ops <- t.stats.label_ops + 1;
+  ensure_ok t s;
+  label_of t s
+
+let write_labels t ~sector labels =
+  let count = List.length labels in
+  if count = 0 then invalid_arg "Device.write_labels";
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  charge_write t ~sector ~count;
+  t.stats.label_ops <- t.stats.label_ops + count;
+  List.iteri
+    (fun i l ->
+      Hashtbl.replace t.labels (sector + i) l;
+      Hashtbl.remove t.damaged (sector + i))
+    labels
+
+let check_label t s ~expect =
+  let found = label_of t s in
+  if not (Label.equal found expect) then
+    raise (Error { sector = s; kind = Label_mismatch { expected = expect; found } })
+
+let verified_read t s ~expect =
+  check_sector t s;
+  charge_read t ~sector:s ~count:1;
+  t.stats.label_ops <- t.stats.label_ops + 1;
+  ensure_ok t s;
+  check_label t s ~expect;
+  fetch t s
+
+let verified_write t s ~expect b =
+  if Bytes.length b <> t.geom.Geometry.sector_bytes then
+    invalid_arg "Device.verified_write: not one sector";
+  check_sector t s;
+  ensure_ok t s;
+  check_label t s ~expect;
+  t.stats.label_ops <- t.stats.label_ops + 1;
+  write_sectors t ~sector:s ~count:1 ~get:(fun _ -> b)
+
+let verified_read_run t ~sector ~expect =
+  let count = List.length expect in
+  if count = 0 then invalid_arg "Device.verified_read_run";
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  charge_read t ~sector ~count;
+  t.stats.label_ops <- t.stats.label_ops + count;
+  for i = 0 to count - 1 do
+    ensure_ok t (sector + i)
+  done;
+  List.iteri (fun i l -> check_label t (sector + i) ~expect:l) expect;
+  let sb = t.geom.Geometry.sector_bytes in
+  let out = Bytes.create (count * sb) in
+  List.iteri (fun i _ -> Bytes.blit (fetch t (sector + i)) 0 out (i * sb) sb) expect;
+  out
+
+let verified_write_run t ~sector ~expect b =
+  let sb = t.geom.Geometry.sector_bytes in
+  let count = List.length expect in
+  if count = 0 || Bytes.length b <> count * sb then
+    invalid_arg "Device.verified_write_run";
+  check_sector t sector;
+  check_sector t (sector + count - 1);
+  List.iteri (fun i l -> check_label t (sector + i) ~expect:l) expect;
+  t.stats.label_ops <- t.stats.label_ops + count;
+  write_sectors t ~sector ~count ~get:(fun i -> Bytes.sub b (i * sb) sb)
+
+let scan_labels t ~from ~count f =
+  check_sector t from;
+  check_sector t (from + count - 1);
+  (* The scavenger reads labels a whole track at a time. *)
+  let spt = t.geom.Geometry.sectors_per_track in
+  let s = ref from in
+  let remaining = ref count in
+  while !remaining > 0 do
+    let track_left = spt - (!s mod spt) in
+    let n = min track_left !remaining in
+    charge_read t ~sector:!s ~count:n;
+    t.stats.label_ops <- t.stats.label_ops + n;
+    for i = 0 to n - 1 do
+      let sec = !s + i in
+      let l = if Hashtbl.mem t.damaged sec then None else Some (label_of t sec) in
+      f sec l
+    done;
+    s := !s + n;
+    remaining := !remaining - n
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection & observation                                       *)
+
+let damage t s =
+  check_sector t s;
+  Hashtbl.replace t.damaged s ()
+
+let corrupt t s ~rng =
+  check_sector t s;
+  let b = Bytes.init t.geom.Geometry.sector_bytes (fun _ -> Char.chr (Rng.int rng 256)) in
+  store t s b
+
+let is_damaged t s = Hashtbl.mem t.damaged s
+
+let plan_write_crash t ~after_sectors ~damage_tail =
+  if after_sectors < 0 || damage_tail < 0 || damage_tail > 2 then
+    invalid_arg "Device.plan_write_crash";
+  t.write_crash <- Some (after_sectors, damage_tail)
+
+let cancel_write_crash t = t.write_crash <- None
+let set_observer t f = t.observer <- f
+let written_ever t s = Hashtbl.mem t.data s
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+
+let magic = 0x43445631 (* "CDV1" *)
+
+let dump t oc =
+  let w = Bytebuf.Writer.create ~initial:65536 () in
+  Bytebuf.Writer.u32 w magic;
+  let g = t.geom in
+  Bytebuf.Writer.u32 w g.Geometry.cylinders;
+  Bytebuf.Writer.u32 w g.Geometry.heads;
+  Bytebuf.Writer.u32 w g.Geometry.sectors_per_track;
+  Bytebuf.Writer.u32 w g.Geometry.sector_bytes;
+  Bytebuf.Writer.u32 w g.Geometry.rpm;
+  Bytebuf.Writer.u32 w g.Geometry.min_seek_us;
+  Bytebuf.Writer.u32 w g.Geometry.avg_seek_us;
+  Bytebuf.Writer.u32 w g.Geometry.max_seek_us;
+  Bytebuf.Writer.u32 w g.Geometry.head_switch_us;
+  Bytebuf.Writer.u32 w (Hashtbl.length t.data);
+  Hashtbl.iter
+    (fun s b ->
+      Bytebuf.Writer.u32 w s;
+      Bytebuf.Writer.raw w b)
+    t.data;
+  Bytebuf.Writer.u32 w (Hashtbl.length t.labels);
+  Hashtbl.iter
+    (fun s l ->
+      Bytebuf.Writer.u32 w s;
+      Bytebuf.Writer.raw w (Label.encode l))
+    t.labels;
+  Bytebuf.Writer.u32 w (Hashtbl.length t.damaged);
+  Hashtbl.iter (fun s () -> Bytebuf.Writer.u32 w s) t.damaged;
+  let b = Bytebuf.Writer.contents w in
+  output_bytes oc b
+
+let load ~clock ic =
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  let r = Bytebuf.Reader.of_bytes b in
+  Bytebuf.Reader.expect_u32 r magic "disk image magic";
+  let cylinders = Bytebuf.Reader.u32 r in
+  let heads = Bytebuf.Reader.u32 r in
+  let sectors_per_track = Bytebuf.Reader.u32 r in
+  let sector_bytes = Bytebuf.Reader.u32 r in
+  let rpm = Bytebuf.Reader.u32 r in
+  let min_seek_us = Bytebuf.Reader.u32 r in
+  let avg_seek_us = Bytebuf.Reader.u32 r in
+  let max_seek_us = Bytebuf.Reader.u32 r in
+  let head_switch_us = Bytebuf.Reader.u32 r in
+  let geom =
+    {
+      Geometry.cylinders;
+      heads;
+      sectors_per_track;
+      sector_bytes;
+      rpm;
+      min_seek_us;
+      avg_seek_us;
+      max_seek_us;
+      head_switch_us;
+    }
+  in
+  let t = create ~clock geom in
+  let ndata = Bytebuf.Reader.u32 r in
+  for _ = 1 to ndata do
+    let s = Bytebuf.Reader.u32 r in
+    Hashtbl.replace t.data s (Bytebuf.Reader.raw r sector_bytes)
+  done;
+  let nlabels = Bytebuf.Reader.u32 r in
+  for _ = 1 to nlabels do
+    let s = Bytebuf.Reader.u32 r in
+    Hashtbl.replace t.labels s (Label.decode (Bytebuf.Reader.raw r 13))
+  done;
+  let ndamaged = Bytebuf.Reader.u32 r in
+  for _ = 1 to ndamaged do
+    Hashtbl.replace t.damaged (Bytebuf.Reader.u32 r) ()
+  done;
+  t

@@ -1,0 +1,109 @@
+(** Sector-level disk simulator with a mechanical timing model.
+
+    The simulator tracks arm position and rotational phase (derived from
+    the virtual clock) and charges each command seek time, rotational
+    latency, and transfer time. It therefore exhibits the phenomena the
+    paper's §6 model reasons about — lost revolutions on
+    read-then-rewrite, free rides for sectors that "have just gone past the
+    head", cheap same-cylinder transfers — without any per-operation
+    special-casing.
+
+    Failure model (§5.3): at most one fault at a time, damaging one or two
+    consecutive sectors. Torn multi-sector writes are injected with
+    {!plan_write_crash}; reads of damaged sectors raise {!Error}. *)
+
+type t
+
+type fault_kind =
+  | Damaged  (** media error: read fails *)
+  | Label_mismatch of { expected : Label.t; found : Label.t }
+
+exception Error of { sector : int; kind : fault_kind }
+
+exception Crash_during_write of { sector : int }
+(** Raised when an injected write fault fires; the test harness treats this
+    as the machine halting mid-write. *)
+
+val create : clock:Cedar_util.Simclock.t -> Geometry.t -> t
+val geometry : t -> Geometry.t
+val clock : t -> Cedar_util.Simclock.t
+val stats : t -> Iostats.t
+
+(** {1 Plain sector I/O (used by FSD and the BSD baseline)} *)
+
+val read : t -> int -> bytes
+(** [read t s] is a fresh copy of sector [s]'s contents (zeroes if never
+    written). Raises [Error] if the sector is damaged. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t s b]. [b] must be exactly one sector. Writing a damaged
+    sector repairs it (re-written media reads back fine). *)
+
+val read_run : t -> sector:int -> count:int -> bytes
+(** One command transferring [count] consecutive sectors; result is their
+    concatenation. *)
+
+val write_run : t -> sector:int -> bytes -> unit
+(** One command writing [Bytes.length / sector_bytes] consecutive sectors. *)
+
+(** {1 Labeled I/O (used by CFS; models Trident microcode)} *)
+
+val read_label : t -> int -> Label.t
+(** Reads just the label field of a sector; costs a (short) disk access.
+    Damaged sectors raise [Error]. *)
+
+val write_labels : t -> sector:int -> Label.t list -> unit
+(** One command (re)writing the label fields of consecutive sectors —
+    how CFS claims or frees pages. *)
+
+val verified_read : t -> int -> expect:Label.t -> bytes
+(** Microcode check-then-transfer: raises [Error] with [Label_mismatch] if
+    the on-disk label differs from [expect]. *)
+
+val verified_write : t -> int -> expect:Label.t -> bytes -> unit
+
+val verified_read_run : t -> sector:int -> expect:Label.t list -> bytes
+(** One command verifying and reading several consecutive sectors. *)
+
+val verified_write_run : t -> sector:int -> expect:Label.t list -> bytes -> unit
+(** One command verifying and writing several consecutive sectors; the
+    [i]-th label is checked against sector [sector + i] before its data is
+    transferred. *)
+
+val scan_labels :
+  t -> from:int -> count:int -> (int -> Label.t option -> unit) -> unit
+(** Sequential label scan (the scavenger). Charged as full-track reads.
+    Damaged sectors yield [None] instead of raising. *)
+
+(** {1 Fault injection} *)
+
+val damage : t -> int -> unit
+(** Mark a sector as a media error until rewritten. *)
+
+val corrupt : t -> int -> rng:Cedar_util.Rng.t -> unit
+(** Silently replace a sector's contents with random bytes (readable but
+    wrong; caught only by checksums or replica comparison). *)
+
+val is_damaged : t -> int -> bool
+
+val plan_write_crash : t -> after_sectors:int -> damage_tail:int -> unit
+(** Arm a fault: after [after_sectors] more sectors have been written, the
+    current command stops; [damage_tail] (1 or 2) further sectors of the
+    command are damaged; [Crash_during_write] is raised. *)
+
+val cancel_write_crash : t -> unit
+
+(** {1 Observation} *)
+
+val set_observer : t -> (rw:[ `R | `W ] -> sector:int -> count:int -> unit) option -> unit
+(** Callback invoked on every data command, used by tests to assert I/O
+    patterns. *)
+
+val written_ever : t -> int -> bool
+(** Whether a sector has ever been written (distinguishes zeroed-but-real
+    from never-touched in tests). *)
+
+(** {1 Persistence (CLI disk images)} *)
+
+val dump : t -> out_channel -> unit
+val load : clock:Cedar_util.Simclock.t -> in_channel -> t

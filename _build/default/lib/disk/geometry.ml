@@ -1,0 +1,101 @@
+type t = {
+  cylinders : int;
+  heads : int;
+  sectors_per_track : int;
+  sector_bytes : int;
+  rpm : int;
+  min_seek_us : int;
+  avg_seek_us : int;
+  max_seek_us : int;
+  head_switch_us : int;
+}
+
+(* 815 * 19 * 38 sectors * 512 B = 301 MB, close to the paper's "300
+   megabyte file system". 3600 rpm gives the 16.7 ms revolution typical of
+   the era; seeks are slow relative to modern drives, as §6 assumes. *)
+let trident_t300 =
+  {
+    cylinders = 815;
+    heads = 19;
+    sectors_per_track = 38;
+    sector_bytes = 512;
+    rpm = 3600;
+    min_seek_us = 6_000;
+    avg_seek_us = 28_000;
+    max_seek_us = 55_000;
+    head_switch_us = 200;
+  }
+
+let small_test =
+  {
+    cylinders = 80;
+    heads = 4;
+    sectors_per_track = 32;
+    sector_bytes = 512;
+    rpm = 3600;
+    min_seek_us = 6_000;
+    avg_seek_us = 28_000;
+    max_seek_us = 55_000;
+    head_switch_us = 200;
+  }
+
+let tiny_test =
+  {
+    cylinders = 24;
+    heads = 2;
+    sectors_per_track = 16;
+    sector_bytes = 512;
+    rpm = 3600;
+    min_seek_us = 6_000;
+    avg_seek_us = 28_000;
+    max_seek_us = 55_000;
+    head_switch_us = 200;
+  }
+
+type chs = { cyl : int; head : int; sector : int }
+
+let sectors_per_cylinder g = g.heads * g.sectors_per_track
+let total_sectors g = g.cylinders * sectors_per_cylinder g
+let capacity_bytes g = total_sectors g * g.sector_bytes
+let rotation_us g = 60_000_000 / g.rpm
+let sector_time_us g = rotation_us g / g.sectors_per_track
+
+let to_chs g s =
+  if s < 0 || s >= total_sectors g then invalid_arg "Geometry.to_chs";
+  let per_cyl = sectors_per_cylinder g in
+  {
+    cyl = s / per_cyl;
+    head = s mod per_cyl / g.sectors_per_track;
+    sector = s mod g.sectors_per_track;
+  }
+
+let of_chs g { cyl; head; sector } =
+  if
+    cyl < 0 || cyl >= g.cylinders || head < 0 || head >= g.heads || sector < 0
+    || sector >= g.sectors_per_track
+  then invalid_arg "Geometry.of_chs";
+  (cyl * sectors_per_cylinder g) + (head * g.sectors_per_track) + sector
+
+let seek_us g d =
+  if d < 0 then invalid_arg "Geometry.seek_us";
+  if d = 0 then 0
+  else begin
+    (* Fit a + b*sqrt(d) through (1, min_seek) and (cyls-1, max_seek). *)
+    let full = float_of_int (max 1 (g.cylinders - 1)) in
+    let b =
+      float_of_int (g.max_seek_us - g.min_seek_us) /. (sqrt full -. 1.0)
+    in
+    let a = float_of_int g.min_seek_us -. b in
+    int_of_float (a +. (b *. sqrt (float_of_int d)))
+  end
+
+let avg_rotational_latency_us g = rotation_us g / 2
+
+let pp ppf g =
+  Format.fprintf ppf
+    "%d cyl x %d heads x %d spt, %d B sectors (%.1f MB), %d rpm (rot %.1f ms), seek %d..%d us"
+    g.cylinders g.heads g.sectors_per_track g.sector_bytes
+    (float_of_int (capacity_bytes g) /. 1_048_576.0)
+    g.rpm
+    (float_of_int (rotation_us g) /. 1000.0)
+    g.min_seek_us g.max_seek_us

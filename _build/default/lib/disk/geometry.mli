@@ -1,0 +1,49 @@
+(** Disk geometry and the timing primitives of the paper's §6 model.
+
+    The simulator and the analytic model share these numbers: rotation
+    time, per-sector transfer time, and a seek-time curve fitted between the
+    single-cylinder and full-stroke seek times. *)
+
+type t = {
+  cylinders : int;
+  heads : int;  (** tracks per cylinder *)
+  sectors_per_track : int;
+  sector_bytes : int;
+  rpm : int;
+  min_seek_us : int;  (** single-cylinder seek *)
+  avg_seek_us : int;  (** third-of-stroke seek, for reporting *)
+  max_seek_us : int;  (** full-stroke seek *)
+  head_switch_us : int;
+}
+
+val trident_t300 : t
+(** A Trident-T300-like 300 MB drive as used on the Dorado: 815 cylinders,
+    19 heads, ~16.7 ms rotation, ~28 ms average seek, 512-byte sectors. *)
+
+val small_test : t
+(** A few-megabyte geometry for unit tests (fast to format and scan). *)
+
+val tiny_test : t
+(** A sub-megabyte geometry for property tests that format thousands of
+    volumes. *)
+
+type chs = { cyl : int; head : int; sector : int }
+
+val total_sectors : t -> int
+val sectors_per_cylinder : t -> int
+val capacity_bytes : t -> int
+val rotation_us : t -> int
+val sector_time_us : t -> int
+
+val to_chs : t -> int -> chs
+val of_chs : t -> chs -> int
+
+val seek_us : t -> int -> int
+(** [seek_us g d] is the time to seek across [d] cylinders ([d >= 0]); zero
+    for [d = 0]. Uses the standard [a + b*sqrt d] curve fitted through
+    [min_seek_us] at distance 1 and [max_seek_us] at full stroke. *)
+
+val avg_rotational_latency_us : t -> int
+(** Half a revolution. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fsbase/entry.ml: Bytebuf Bytes Cedar_util Format Printf Run_table

@@ -1,0 +1,1 @@
+lib/fsbase/entry.mli: Format Run_table

@@ -1,0 +1,1 @@
+lib/fsbase/fname.ml: Char Format Printf String

@@ -1,0 +1,1 @@
+lib/fsbase/fname.mli: Format

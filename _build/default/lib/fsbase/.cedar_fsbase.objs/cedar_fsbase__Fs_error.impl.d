@@ -1,0 +1,1 @@
+lib/fsbase/fs_error.ml: Format

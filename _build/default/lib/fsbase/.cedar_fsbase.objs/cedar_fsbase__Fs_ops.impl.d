@@ -1,0 +1,1 @@
+lib/fsbase/fs_ops.ml: Cedar_disk Cedar_util Format

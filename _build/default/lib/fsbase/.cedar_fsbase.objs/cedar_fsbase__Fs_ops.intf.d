@@ -1,0 +1,1 @@
+lib/fsbase/fs_ops.mli: Cedar_disk Cedar_util Format

@@ -1,0 +1,1 @@
+lib/fsbase/run_table.ml: Bytebuf Cedar_util Crc32 Format List

@@ -1,0 +1,1 @@
+lib/fsbase/run_table.mli: Cedar_util Format

@@ -1,0 +1,34 @@
+let max_name_bytes = 100
+let max_version = 999_999
+
+let validate name =
+  if String.length name = 0 then Error "empty name"
+  else if String.length name > max_name_bytes then Error "name too long"
+  else if
+    String.exists (fun c -> c = '!' || Char.code c < 0x20 || Char.code c = 0x7f) name
+  then Error "name contains '!' or control characters"
+  else Ok ()
+
+let key ~name ~version =
+  if version < 1 || version > max_version then invalid_arg "Fname.key: version";
+  (match validate name with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Fname.key: " ^ m));
+  Printf.sprintf "%s!%06d" name version
+
+let bounds ~name =
+  (* '!' is 0x21 and '"' is 0x22, so this brackets exactly the keys of
+     [name]'s versions; a longer name ("foo.txt" vs "foo") sorts outside. *)
+  (name ^ "!", name ^ "\"")
+
+let parse k =
+  match String.rindex_opt k '!' with
+  | None -> None
+  | Some i ->
+    let name = String.sub k 0 i in
+    let v = String.sub k (i + 1) (String.length k - i - 1) in
+    (match int_of_string_opt v with
+    | Some version when version >= 1 && version <= max_version -> Some (name, version)
+    | Some _ | None -> None)
+
+let pp ppf (name, version) = Format.fprintf ppf "%s!%d" name version

@@ -1,0 +1,24 @@
+(** Cedar file names with versions ("name!version").
+
+    The name table is keyed so that all versions of a name are contiguous
+    and lexicographic key order equals (name, version-number) order; the
+    newest version of a name is the greatest key below the name's upper
+    bound. *)
+
+val max_name_bytes : int
+
+val validate : string -> (unit, string) result
+(** A valid name is non-empty, at most {!max_name_bytes} bytes, and
+    contains neither ['!'] nor control characters. *)
+
+val key : name:string -> version:int -> string
+(** B-tree key for a specific version. Versions are in [1, 999999]. *)
+
+val bounds : name:string -> string * string
+(** [(lo, hi)] such that a key belongs to [name] iff [lo <= key < hi]. *)
+
+val parse : string -> (string * int) option
+(** Inverse of {!key}. *)
+
+val pp : Format.formatter -> string * int -> unit
+(** Prints "name!version". *)

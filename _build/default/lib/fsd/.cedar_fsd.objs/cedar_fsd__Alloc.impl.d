@@ -1,0 +1,1 @@
+lib/fsd/alloc.ml: Cedar_fsbase Layout List Params Run_table Vam

@@ -1,0 +1,1 @@
+lib/fsd/alloc.mli: Cedar_fsbase Vam

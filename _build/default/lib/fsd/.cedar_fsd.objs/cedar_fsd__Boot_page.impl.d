@@ -1,0 +1,1 @@
+lib/fsd/boot_page.ml: Bytebuf Bytes Cedar_disk Cedar_util Crc32 Device

@@ -1,0 +1,1 @@
+lib/fsd/boot_page.mli: Cedar_disk

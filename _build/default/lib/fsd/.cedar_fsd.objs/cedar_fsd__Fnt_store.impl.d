@@ -1,0 +1,1 @@
+lib/fsd/fnt_store.ml: Bitmap Bytebuf Bytes Cedar_disk Cedar_fsbase Cedar_util Crc32 Device Fs_error Geometry Int64 Layout List Lru Params Printf

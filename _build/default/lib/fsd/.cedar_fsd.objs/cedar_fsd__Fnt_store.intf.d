@@ -1,0 +1,1 @@
+lib/fsd/fnt_store.mli: Cedar_disk Layout

@@ -1,0 +1,1 @@
+lib/fsd/fsd.mli: Cedar_btree Cedar_disk Cedar_fsbase Layout Log Params

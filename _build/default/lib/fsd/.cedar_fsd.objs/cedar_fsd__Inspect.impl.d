@@ -1,0 +1,1 @@
+lib/fsd/inspect.ml: Buffer Bytes Cedar_btree Cedar_disk Cedar_fsbase Entry Format Fsd Geometry Int64 Layout List Log Params

@@ -1,0 +1,1 @@
+lib/fsd/inspect.mli: Cedar_disk Format Fsd Layout

@@ -1,0 +1,1 @@
+lib/fsd/layout.ml: Cedar_disk Format Geometry Params

@@ -1,0 +1,1 @@
+lib/fsd/layout.mli: Cedar_disk Format Params

@@ -1,0 +1,1 @@
+lib/fsd/leader.ml: Bytebuf Cedar_fsbase Cedar_util Crc32 Entry Run_table

@@ -1,0 +1,1 @@
+lib/fsd/leader.mli: Cedar_fsbase

@@ -1,0 +1,1 @@
+lib/fsd/log.ml: Array Bytebuf Bytes Cedar_disk Cedar_util Crc32 Device Geometry Hashtbl Int64 Layout List Option Params Stats

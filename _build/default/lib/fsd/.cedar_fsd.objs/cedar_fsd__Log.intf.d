@@ -1,0 +1,1 @@
+lib/fsd/log.mli: Cedar_disk Cedar_util Layout

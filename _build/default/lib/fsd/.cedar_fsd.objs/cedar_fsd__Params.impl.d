@@ -1,0 +1,1 @@
+lib/fsd/params.ml: Cedar_disk Geometry Printf

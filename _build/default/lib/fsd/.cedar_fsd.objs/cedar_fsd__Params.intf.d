@@ -1,0 +1,1 @@
+lib/fsd/params.mli: Cedar_disk

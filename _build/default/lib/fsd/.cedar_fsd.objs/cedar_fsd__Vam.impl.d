@@ -1,0 +1,1 @@
+lib/fsd/vam.ml: Bitmap Bytebuf Bytes Cedar_disk Cedar_util Crc32 Device Geometry Hashtbl Layout List Printf

@@ -1,0 +1,1 @@
+lib/fsd/vam.mli: Cedar_disk Layout

@@ -1,0 +1,82 @@
+open Cedar_fsbase
+
+type t = { vam : Vam.t; mutable small_hint : int; mutable big_hint : int }
+
+let create vam =
+  let l = Vam.layout vam in
+  { vam; small_hint = l.Layout.small_lo; big_hint = l.Layout.big_hi - 1 }
+
+let vam t = t.vam
+
+(* Find one free run of exactly [len] in the small area (next-fit, upward). *)
+let find_small t len =
+  let l = Vam.layout t.vam in
+  let lo = l.Layout.small_lo and hi = l.Layout.small_hi in
+  if hi - lo < len then None
+  else
+    match Vam.find_free_run t.vam ~from:t.small_hint ~upto:hi ~len with
+    | Some pos -> Some pos
+    | None -> Vam.find_free_run t.vam ~from:lo ~upto:(min hi (t.small_hint + len)) ~len
+
+let find_big t len =
+  let l = Vam.layout t.vam in
+  let lo = l.Layout.big_lo and hi = l.Layout.big_hi in
+  if hi - lo < len then None
+  else
+    match Vam.find_free_run_down t.vam ~from:t.big_hint ~downto_:lo ~len with
+    | Some pos -> Some pos
+    | None -> Vam.find_free_run_down t.vam ~from:(hi - 1) ~downto_:(max lo (t.big_hint - len)) ~len
+
+let claim t ~small pos len =
+  Vam.allocate_run t.vam ~pos ~len;
+  if small then t.small_hint <- pos + len else t.big_hint <- pos - 1;
+  { Run_table.start = pos; len }
+
+(* One run of [len], in the preferred area first, then the other. *)
+let find_one t ~small len =
+  let primary, secondary = if small then (find_small, find_big) else (find_big, find_small) in
+  match primary t len with
+  | Some pos -> Some (claim t ~small pos len)
+  | None -> (
+    match secondary t len with
+    | Some pos -> Some (claim t ~small:(not small) pos len)
+    | None -> None)
+
+let release_all t runs =
+  List.iter
+    (fun r -> Vam.release_run t.vam ~pos:r.Run_table.start ~len:r.Run_table.len)
+    runs
+
+let max_runs t =
+  (Vam.layout t.vam).Layout.params.Params.max_runs_per_file
+
+let allocate t ~sectors ~small =
+  if sectors <= 0 then invalid_arg "Alloc.allocate";
+  (* Prefer a single contiguous run; otherwise take the biggest pieces we
+     can find, halving the request until something fits. *)
+  let rec gather acc remaining chunk nruns =
+    if remaining = 0 then Ok (List.rev acc)
+    else if nruns >= max_runs t then begin
+      release_all t acc;
+      Error `Too_fragmented
+    end
+    else
+      let want = min remaining chunk in
+      match find_one t ~small want with
+      | Some run -> gather (run :: acc) (remaining - want) chunk (nruns + 1)
+      | None ->
+        if chunk = 1 then begin
+          release_all t acc;
+          Error `Volume_full
+        end
+        else gather acc remaining (max 1 (chunk / 2)) nruns
+  in
+  gather [] sectors sectors 0
+
+let free_on_commit t runs =
+  List.iter (fun r -> Vam.shadow_release_run t.vam ~pos:r.Run_table.start ~len:r.Run_table.len) runs
+
+let free_now t runs =
+  List.iter (fun r -> Vam.release_run t.vam ~pos:r.Run_table.start ~len:r.Run_table.len) runs
+
+let commit t = Vam.commit_shadow t.vam

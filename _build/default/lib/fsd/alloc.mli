@@ -1,0 +1,24 @@
+(** Run (extent) allocator over the VAM (§5.6).
+
+    Small files are placed in the small-file area, allocated upward with a
+    next-fit pointer; big files in the big-file area, allocated downward —
+    like heap and stack growing toward each other. The areas are only
+    hints: when the preferred area cannot satisfy a request, the other
+    area is used. A request is satisfied by as few runs as possible,
+    preferring one contiguous run. *)
+
+type t
+
+val create : Vam.t -> t
+
+val allocate :
+  t -> sectors:int -> small:bool -> (Cedar_fsbase.Run_table.run list, [ `Volume_full | `Too_fragmented ]) result
+(** At most [Params.max_runs_per_file] runs. On success the sectors are
+    already marked allocated in the VAM. *)
+
+val free_on_commit : t -> Cedar_fsbase.Run_table.run list -> unit
+val free_now : t -> Cedar_fsbase.Run_table.run list -> unit
+val commit : t -> unit
+(** Apply all pending shadow frees (the delete commit point). *)
+
+val vam : t -> Vam.t

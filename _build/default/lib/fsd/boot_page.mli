@@ -1,0 +1,22 @@
+(** The replicated boot page (sectors 0 and 2; §5.8: "two kinds of pages
+    needed in booting could become bad: they are now replicated").
+
+    Records the layout-defining parameters stamped at format time, the
+    boot count, and whether the last shutdown was controlled (which
+    decides whether the saved VAM may be trusted). *)
+
+type t = {
+  boot_count : int;
+  clean_shutdown : bool;
+  fnt_page_sectors : int;
+  fnt_pages : int;
+  log_sectors : int;
+  log_vam : bool;  (** the volume runs the VAM-logging extension *)
+  track_tolerant_log : bool;
+}
+
+val write : Cedar_disk.Device.t -> sector_bytes:int -> t -> unit
+(** One three-sector command: page, blank, replica. *)
+
+val read : Cedar_disk.Device.t -> t option
+(** Tries sector 0 then sector 2; [None] if both are bad. *)

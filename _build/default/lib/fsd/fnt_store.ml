@@ -1,0 +1,305 @@
+open Cedar_util
+open Cedar_disk
+open Cedar_fsbase
+
+type cached = {
+  mutable payload : bytes;
+  mutable dirty : bool;
+  mutable modified : bool; (* changed since last logged *)
+  mutable third : int option; (* where the image was last logged *)
+}
+
+type anchor = {
+  mutable root : int option;
+  alloc_map : Bitmap.t; (* set = page slot in use *)
+  mutable next_uid : int64;
+}
+
+type t = {
+  device : Device.t;
+  layout : Layout.t;
+  cache : (int, cached) Lru.t;
+  anchor : anchor;
+  mutable note_dirty : int -> unit;
+  mutable home_writes : int;
+  mutable repairs : int;
+}
+
+let trailer_bytes = 16
+let page_magic = 0x464e5431 (* "FNT1" *)
+
+let full_page_bytes layout =
+  layout.Layout.params.Params.fnt_page_sectors
+  * layout.Layout.geom.Geometry.sector_bytes
+
+let page_bytes t = full_page_bytes t.layout - trailer_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let frame layout ~page payload =
+  let full = full_page_bytes layout in
+  if Bytes.length payload <> full - trailer_bytes then
+    invalid_arg "Fnt_store.frame: payload size";
+  let out = Bytes.make full '\000' in
+  Bytes.blit payload 0 out 0 (Bytes.length payload);
+  let w = Bytebuf.Writer.create ~initial:trailer_bytes () in
+  Bytebuf.Writer.u32 w page_magic;
+  Bytebuf.Writer.u32 w page;
+  Bytebuf.Writer.u32 w (Crc32.bytes payload);
+  Bytebuf.Writer.u32 w 0;
+  Bytes.blit (Bytebuf.Writer.contents w) 0 out (full - trailer_bytes) trailer_bytes;
+  out
+
+let unframe layout ~page image =
+  let full = full_page_bytes layout in
+  if Bytes.length image <> full then None
+  else begin
+    let payload = Bytes.sub image 0 (full - trailer_bytes) in
+    let r = Bytebuf.Reader.of_bytes ~pos:(full - trailer_bytes) image in
+    match
+      let m = Bytebuf.Reader.u32 r in
+      let id = Bytebuf.Reader.u32 r in
+      let crc = Bytebuf.Reader.u32 r in
+      (m, id, crc)
+    with
+    | exception Bytebuf.Decode_error _ -> None
+    | m, id, crc ->
+      if m = page_magic && id = page && crc = Crc32.bytes payload then Some payload
+      else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Anchor codec (page 0's payload)                                     *)
+
+let anchor_magic = 0x414e4331 (* "ANC1" *)
+
+let encode_anchor t =
+  let w = Bytebuf.Writer.create () in
+  Bytebuf.Writer.u32 w anchor_magic;
+  (match t.anchor.root with
+  | None -> Bytebuf.Writer.u32 w 0
+  | Some r -> Bytebuf.Writer.u32 w (r + 1));
+  Bytebuf.Writer.u64 w t.anchor.next_uid;
+  Bytebuf.Writer.u32 w (Bitmap.length t.anchor.alloc_map);
+  Bytebuf.Writer.raw w (Bitmap.to_bytes t.anchor.alloc_map);
+  let b = Bytebuf.Writer.contents w in
+  if Bytes.length b > page_bytes t then
+    invalid_arg "Fnt_store: anchor exceeds one page; reduce fnt_pages";
+  let out = Bytes.make (page_bytes t) '\000' in
+  Bytes.blit b 0 out 0 (Bytes.length b);
+  out
+
+let decode_anchor payload =
+  let r = Bytebuf.Reader.of_bytes payload in
+  match
+    let m = Bytebuf.Reader.u32 r in
+    if m <> anchor_magic then None
+    else begin
+      let root = match Bytebuf.Reader.u32 r with 0 -> None | n -> Some (n - 1) in
+      let next_uid = Bytebuf.Reader.u64 r in
+      let bits = Bytebuf.Reader.u32 r in
+      let map = Bitmap.of_bytes ~bits (Bytebuf.Reader.raw r ((bits + 7) / 8)) in
+      Some { root; alloc_map = map; next_uid }
+    end
+  with
+  | v -> v
+  | exception Bytebuf.Decode_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Home I/O                                                            *)
+
+let write_home_image device layout ~page image =
+  if Bytes.length image <> full_page_bytes layout then
+    invalid_arg "Fnt_store.write_home_image";
+  Device.write_run device ~sector:(Layout.fnt_sector_a layout ~page) image;
+  Device.write_run device ~sector:(Layout.fnt_sector_b layout ~page) image
+
+(* Both copies are read and checked (§5.1); a lone bad copy is repaired. *)
+let read_home t page =
+  let n = t.layout.Layout.params.Params.fnt_page_sectors in
+  let read_copy sector =
+    match Device.read_run t.device ~sector ~count:n with
+    | image -> unframe t.layout ~page image
+    | exception Device.Error _ -> None
+  in
+  let sa = Layout.fnt_sector_a t.layout ~page in
+  let sb = Layout.fnt_sector_b t.layout ~page in
+  let a = read_copy sa and b = read_copy sb in
+  match (a, b) with
+  | Some pa, Some _ -> pa
+  | Some pa, None ->
+    t.repairs <- t.repairs + 1;
+    Device.write_run t.device ~sector:sb (frame t.layout ~page pa);
+    pa
+  | None, Some pb ->
+    t.repairs <- t.repairs + 1;
+    Device.write_run t.device ~sector:sa (frame t.layout ~page pb);
+    pb
+  | None, None ->
+    Fs_error.raise_
+      (Fs_error.Corrupt_metadata
+         (Printf.sprintf "both copies of name-table page %d are bad" page))
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let mk device layout anchor =
+  {
+    device;
+    layout;
+    cache = Lru.create ~capacity:layout.Layout.params.Params.cache_pages;
+    anchor;
+    note_dirty = (fun _ -> ());
+    home_writes = 0;
+    repairs = 0;
+  }
+
+let create_fresh device layout =
+  let map = Bitmap.create layout.Layout.params.Params.fnt_pages in
+  Bitmap.set map 0; (* the anchor page itself *)
+  mk device layout { root = None; alloc_map = map; next_uid = 1L }
+
+let attach device layout =
+  let t = mk device layout { root = None; alloc_map = Bitmap.create 1; next_uid = 1L } in
+  let payload = read_home t 0 in
+  match decode_anchor payload with
+  | Some anchor -> mk device layout anchor
+  | None ->
+    Fs_error.raise_ (Fs_error.Corrupt_metadata "name-table anchor does not decode")
+
+let set_note_dirty t f = t.note_dirty <- f
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let insert_cache t page c =
+  (* Evictions are always clean (dirty pages are pinned). *)
+  ignore (Lru.add t.cache page c : (int * cached) list);
+  if c.dirty then Lru.pin t.cache page
+
+let read t page =
+  match Lru.find t.cache page with
+  | Some c -> Bytes.copy c.payload
+  | None ->
+    let payload = read_home t page in
+    insert_cache t page { payload; dirty = false; modified = false; third = None };
+    Bytes.copy payload
+
+let write t page payload =
+  if Bytes.length payload <> page_bytes t then invalid_arg "Fnt_store.write: size";
+  (match Lru.peek t.cache page with
+  | Some c ->
+    c.payload <- Bytes.copy payload;
+    c.modified <- true;
+    if not c.dirty then begin
+      c.dirty <- true;
+      c.third <- None;
+      Lru.pin t.cache page
+    end
+  | None ->
+    insert_cache t page
+      { payload = Bytes.copy payload; dirty = true; modified = true; third = None });
+  t.note_dirty page
+
+(* Anchor mutations are ordinary writes of page 0. *)
+let write_anchor t = write t 0 (encode_anchor t)
+
+let alloc t =
+  match
+    let map = t.anchor.alloc_map in
+    let rec go i =
+      if i >= Bitmap.length map then None
+      else if not (Bitmap.get map i) then Some i
+      else go (i + 1)
+    in
+    go 1
+  with
+  | None -> Fs_error.raise_ (Fs_error.Corrupt_metadata "name table out of pages")
+  | Some page ->
+    Bitmap.set t.anchor.alloc_map page;
+    write_anchor t;
+    page
+
+let free t page =
+  if page = 0 || not (Bitmap.get t.anchor.alloc_map page) then
+    invalid_arg "Fnt_store.free";
+  Bitmap.clear t.anchor.alloc_map page;
+  Lru.remove t.cache page;
+  write_anchor t
+
+let get_root t = t.anchor.root
+
+let set_root t r =
+  t.anchor.root <- r;
+  write_anchor t
+
+let fresh_uid t =
+  let uid = t.anchor.next_uid in
+  t.anchor.next_uid <- Int64.add uid 1L;
+  write_anchor t;
+  uid
+
+let next_uid_peek t = t.anchor.next_uid
+
+(* ------------------------------------------------------------------ *)
+(* Log integration                                                     *)
+
+let framed_image t page =
+  match Lru.peek t.cache page with
+  | Some c -> frame t.layout ~page c.payload
+  | None -> invalid_arg (Printf.sprintf "Fnt_store.framed_image: page %d not cached" page)
+
+let mark_logged t pages ~third =
+  List.iter
+    (fun page ->
+      match Lru.peek t.cache page with
+      | Some c when c.dirty ->
+        c.third <- Some third;
+        c.modified <- false
+      | Some _ | None -> ())
+    pages
+
+let home_write t page c =
+  write_home_image t.device t.layout ~page (frame t.layout ~page c.payload);
+  t.home_writes <- t.home_writes + 1;
+  c.dirty <- false;
+  c.third <- None;
+  Lru.unpin t.cache page
+
+let flush_third t third =
+  let victims = ref [] in
+  Lru.iter t.cache (fun page c ->
+      if c.dirty && c.third = Some third then victims := (page, c) :: !victims);
+  List.iter (fun (page, c) -> home_write t page c) !victims;
+  List.length !victims
+
+let flush_all_dirty t =
+  let victims = ref [] in
+  Lru.iter t.cache (fun page c -> if c.dirty then victims := (page, c) :: !victims);
+  List.iter (fun (page, c) -> home_write t page c) !victims;
+  List.length !victims
+
+let dirty_pages t =
+  let acc = ref [] in
+  Lru.iter t.cache (fun page c -> if c.dirty then acc := page :: !acc);
+  List.sort compare !acc
+
+let pages_to_log t =
+  let acc = ref [] in
+  Lru.iter t.cache (fun page c -> if c.dirty && c.modified then acc := page :: !acc);
+  List.sort compare !acc
+
+let cached_pages t = Lru.size t.cache
+
+let drop_clean_cache t =
+  let clean = ref [] in
+  Lru.iter t.cache (fun page c -> if not c.dirty then clean := page :: !clean);
+  List.iter (Lru.remove t.cache) !clean
+
+let flush_anchor t =
+  write_anchor t;
+  ignore (flush_all_dirty t : int)
+
+let home_writes t = t.home_writes
+let repairs t = t.repairs

@@ -1,0 +1,83 @@
+(** The name-table page store: write-back cache over the doubly-written
+    FNT regions, integrated with the log.
+
+    [write] only updates the cache and notes the page for the next group
+    commit; pages reach their two home locations when the log writer
+    re-enters the third they were last logged in, at clean shutdown, or
+    during crash recovery. Dirty pages are pinned in the cache — their
+    only durable copy is in the log, so they must stay until written home
+    (§5.3). Reads that miss fetch {e both} copies and use whichever
+    checks; a bad copy is repaired from the good one (§5.1).
+
+    Page 0 is the anchor: B-tree root pointer, page allocation map, and
+    the uid counter. It flows through the same cache/log/home machinery,
+    so a committed anchor update is exactly as durable as the tree pages
+    it describes. *)
+
+type t
+
+val create_fresh : Cedar_disk.Device.t -> Layout.t -> t
+(** A brand-new store with an empty anchor; used by format. Writes
+    nothing to disk until flushed/committed. *)
+
+val attach : Cedar_disk.Device.t -> Layout.t -> t
+(** Reads the anchor from disk (run after log recovery has replayed all
+    committed page images home). Raises [Fs_error Corrupt_metadata] if
+    both anchor copies are bad. *)
+
+val set_note_dirty : t -> (int -> unit) -> unit
+(** Callback invoked with a page id whenever a page becomes dirty; the
+    file system uses it to build the group-commit batch. *)
+
+(** {1 Btree.STORE} *)
+
+val page_bytes : t -> int
+val read : t -> int -> bytes
+val write : t -> int -> bytes -> unit
+val alloc : t -> int
+val free : t -> int -> unit
+val get_root : t -> int option
+val set_root : t -> int option -> unit
+
+val flush_anchor : t -> unit
+(** Write the anchor page home immediately (format time). *)
+
+(** {1 Anchor extras} *)
+
+val fresh_uid : t -> int64
+val next_uid_peek : t -> int64
+
+(** {1 Log integration} *)
+
+val framed_image : t -> int -> bytes
+(** The full on-disk image (payload + trailer) of a cached page, as logged. *)
+
+val mark_logged : t -> int list -> third:int -> unit
+(** Note the third in which these pages' images now live in the log. *)
+
+val flush_third : t -> int -> int
+(** Home-write every dirty page last logged in the given third; returns
+    how many pages were written. *)
+
+val flush_all_dirty : t -> int
+(** Home-write everything dirty (clean shutdown). *)
+
+val write_home_image : Cedar_disk.Device.t -> Layout.t -> page:int -> bytes -> unit
+(** Write a framed image to both home locations (used by recovery). *)
+
+val dirty_pages : t -> int list
+(** Every dirty page (logged or not). *)
+
+val pages_to_log : t -> int list
+(** Dirty pages modified since they were last logged — the group-commit
+    batch. *)
+
+val cached_pages : t -> int
+val drop_clean_cache : t -> unit
+(** Evict every clean page (benchmarks use this to simulate a cold cache). *)
+
+val home_writes : t -> int
+(** Total pages written home so far (each costs two disk writes). *)
+
+val repairs : t -> int
+(** Number of single-copy failures repaired from the twin on read. *)

@@ -1,0 +1,1033 @@
+open Cedar_util
+open Cedar_disk
+open Cedar_fsbase
+
+module B = Cedar_btree.Btree.Make (Fnt_store)
+
+type vam_source = Vam_loaded | Vam_reconstructed | Vam_replayed
+
+type boot_report = {
+  boot_count : int;
+  replayed_records : int;
+  replayed_pages : int;
+  corrected_sectors : int;
+  skipped_leaders : int;
+  vam_source : vam_source;
+  log_replay_us : int;
+  vam_us : int;
+  total_us : int;
+}
+
+type counters = {
+  mutable ops : int;
+  mutable forces : int;
+  mutable empty_forces : int;
+  mutable leader_piggybacks : int;
+  mutable leader_home_writes : int;
+  mutable vam_base_rewrites : int;
+}
+
+type pending_leader = { image : bytes; mutable logged_third : int option }
+
+type t = {
+  device : Device.t;
+  clock : Simclock.t;
+  layout : Layout.t;
+  params : Params.t;
+  store : Fnt_store.t;
+  tree : B.t;
+  log : Log.t;
+  alloc : Alloc.t;
+  pending_leaders : (int, pending_leader) Hashtbl.t;
+  chunk_thirds : (int, int) Hashtbl.t; (* VAM chunk -> third of its log copy *)
+  verified : (int64, unit) Hashtbl.t; (* uids whose leader checked out *)
+  mutable last_force : int;
+  mutable live : bool;
+  mutable vam_saved_clean : bool;
+  boot_count : int;
+  counters : counters;
+}
+
+let mk_counters () =
+  {
+    ops = 0;
+    forces = 0;
+    empty_forces = 0;
+    leader_piggybacks = 0;
+    leader_home_writes = 0;
+    vam_base_rewrites = 0;
+  }
+
+let layout t = t.layout
+let device t = t.device
+let counters t = t.counters
+let log_stats t = Log.stats t.log
+let fnt_home_writes t = Fnt_store.home_writes t.store
+let fnt_repairs t = Fnt_store.repairs t.store
+let free_sectors t = Vam.free_count (Alloc.vam t.alloc)
+let is_live t = t.live
+let drop_caches t =
+  ignore (Fnt_store.flush_all_dirty t.store : int);
+  Fnt_store.drop_clean_cache t.store
+
+let sector_bytes t = t.layout.Layout.geom.Geometry.sector_bytes
+let now t = Simclock.now t.clock
+let cpu t us = Simclock.advance t.clock us
+let require_live t = if not t.live then Fs_error.raise_ Fs_error.Not_booted
+
+let corrupt msg = Fs_error.raise_ (Fs_error.Corrupt_metadata msg)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+
+(* Leaders logged in third [j] but never piggybacked must be written by
+   the logging code before the third is overwritten (§5.3). With VAM
+   logging, chunk images living in [j] are about to die too: rewrite the
+   whole base, stamped with the current record number, so recovery
+   ignores every older (stale) chunk image still in the log. *)
+let handle_enter_third t j =
+  ignore (Fnt_store.flush_third t.store j : int);
+  let due = ref [] in
+  Hashtbl.iter
+    (fun sector pl -> if pl.logged_third = Some j then due := (sector, pl) :: !due)
+    t.pending_leaders;
+  List.iter
+    (fun (sector, pl) ->
+      Device.write t.device sector pl.image;
+      t.counters.leader_home_writes <- t.counters.leader_home_writes + 1;
+      Hashtbl.remove t.pending_leaders sector)
+    !due;
+  if t.params.Params.log_vam && Hashtbl.fold (fun _ th acc -> acc || th = j) t.chunk_thirds false
+  then begin
+    (* The record being appended right now (number [next_record_no]) logs
+       chunk states the current map already contains, so it is covered by
+       the epoch too. *)
+    Vam.save ~mode:Vam.Log_based ~epoch:(Log.next_record_no t.log) (Alloc.vam t.alloc)
+      t.device;
+    Hashtbl.reset t.chunk_thirds;
+    t.counters.vam_base_rewrites <- t.counters.vam_base_rewrites + 1
+  end
+
+let max_data_sectors t =
+  min t.params.Params.max_record_data_sectors (Log.max_data_sectors_hard t.layout)
+
+(* Note what each logged unit's survival horizon is (the third its
+   record starts in) and update the in-memory bookkeeping. *)
+let note_logged t batch ~third =
+  let fnt_ids =
+    List.filter_map
+      (fun u -> match u.Log.kind with Log.Fnt_page p -> Some p | _ -> None)
+      batch
+  in
+  Fnt_store.mark_logged t.store fnt_ids ~third;
+  List.iter
+    (fun u ->
+      match u.Log.kind with
+      | Log.Leader_page s -> (
+        match Hashtbl.find_opt t.pending_leaders s with
+        | Some pl -> pl.logged_third <- Some third
+        | None -> ())
+      | Log.Vam_chunk c -> Hashtbl.replace t.chunk_thirds c third
+      | Log.Fnt_page _ -> ())
+    batch
+
+let force t =
+  require_live t;
+  let pages = Fnt_store.pages_to_log t.store in
+  let leaders =
+    Hashtbl.fold
+      (fun sector pl acc -> if pl.logged_third = None then (sector, pl) :: acc else acc)
+      t.pending_leaders []
+  in
+  if pages = [] && leaders = [] then begin
+    assert (Vam.shadow_count (Alloc.vam t.alloc) = 0);
+    t.counters.empty_forces <- t.counters.empty_forces + 1;
+    t.last_force <- now t
+  end
+  else begin
+    (* Deletions commit now, so their freed bits ride in this record
+       (relevant only with VAM logging; harmless otherwise — a crash
+       before the record is durable loses this whole session anyway). *)
+    Alloc.commit t.alloc;
+    let base_units =
+      List.map
+        (fun p ->
+          { Log.kind = Log.Fnt_page p; image = Fnt_store.framed_image t.store p })
+        pages
+      @ List.map
+          (fun (sector, pl) ->
+            { Log.kind = Log.Leader_page sector; image = pl.image })
+          leaders
+    in
+    let vam = Alloc.vam t.alloc in
+    let chunk_unit c = { Log.kind = Log.Vam_chunk c; image = Vam.chunk_image vam c } in
+    let units =
+      if not t.params.Params.log_vam then base_units
+      else
+        (* Chunks dirtied since the last force ride in the same record as
+           the name-table changes they belong to. Chunk images about to
+           be overwritten by a third entry are covered differently: the
+           entry handler rewrites the whole base with a fresh epoch. *)
+        base_units @ List.map chunk_unit (Vam.drain_dirty_chunks vam)
+    in
+    let cap = max_data_sectors t in
+    let total_data =
+      List.fold_left (fun acc u -> acc + Log.unit_sectors t.layout u.Log.kind) 0 units
+    in
+    if total_data <= cap then begin
+      (* the normal case: one record, one atomic commit *)
+      let third = Log.append t.log units in
+      note_logged t units ~third
+    end
+    else begin
+      (* Backstop: split across records. Cross-record atomicity is lost,
+         which the VAM base cannot tolerate — degrade it to a rebuild. *)
+      if t.params.Params.log_vam then begin
+        Vam.invalidate_saved t.layout t.device;
+        Hashtbl.reset t.chunk_thirds
+      end;
+      let flush batch =
+        let batch = List.rev batch in
+        let third = Log.append t.log batch in
+        note_logged t batch ~third
+      in
+      let rec pack acc acc_sectors = function
+        | [] -> if acc <> [] then flush acc
+        | u :: rest ->
+          let s = Log.unit_sectors t.layout u.Log.kind in
+          if acc <> [] && acc_sectors + s > cap then begin
+            flush acc;
+            pack [ u ] s rest
+          end
+          else pack (u :: acc) (acc_sectors + s) rest
+      in
+      pack [] 0 units
+    end;
+    t.counters.forces <- t.counters.forces + 1;
+    t.last_force <- now t
+  end
+
+(* Force early when the pending batch approaches one record, so a single
+   force stays a single atomic log write ("the log is forced long before
+   this should occur"). *)
+let force_threshold t =
+  max 2 ((max_data_sectors t / t.params.Params.fnt_page_sectors) - 4)
+
+let maybe_commit t =
+  let due_time = now t - t.last_force >= t.params.Params.commit_interval_us in
+  let due_bulk =
+    List.length (Fnt_store.pages_to_log t.store) >= force_threshold t
+  in
+  if due_time || due_bulk then force t
+
+(* Any mutation of allocation state spoils an idle-period VAM snapshot.
+   With VAM logging the base stays valid: the mutations reach the log. *)
+let spoil_saved_vam t =
+  if t.vam_saved_clean && not t.params.Params.log_vam then begin
+    Vam.invalidate_saved t.layout t.device;
+    t.vam_saved_clean <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Name-table access                                                   *)
+
+let validate_name name =
+  match Fname.validate name with
+  | Ok () -> ()
+  | Error reason -> Fs_error.raise_ (Fs_error.Bad_name { name; reason })
+
+let decode_entry name v =
+  match Entry.decode v with
+  | e -> e
+  | exception Bytebuf.Decode_error m ->
+    corrupt (Printf.sprintf "entry for %s does not decode: %s" name m)
+
+let newest t name =
+  validate_name name;
+  let _, hi = Fname.bounds ~name in
+  match B.find_last_below t.tree hi with
+  | None -> None
+  | Some (k, v) -> (
+    match Fname.parse k with
+    | Some (n, version) when String.equal n name ->
+      Some (k, version, decode_entry name v)
+    | Some _ | None -> None)
+
+let newest_exn t name =
+  match newest t name with
+  | Some x -> x
+  | None -> Fs_error.raise_ (Fs_error.No_such_file name)
+
+let info_of name version (e : Entry.t) =
+  { Fs_ops.name; version; byte_size = e.Entry.byte_size; uid = e.Entry.uid }
+
+let insert_entry t ~key (e : Entry.t) =
+  match B.insert t.tree ~key ~value:(Entry.encode e) with
+  | () -> ()
+  | exception Invalid_argument _ ->
+    (match Fname.parse key with
+    | Some (name, _) -> Fs_error.raise_ (Fs_error.Too_fragmented name)
+    | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Leader handling                                                     *)
+
+let leader_image_of_entry t (e : Entry.t) =
+  Leader.encode (Leader.of_entry e) ~sector_bytes:(sector_bytes t)
+
+(* After a run-table change the leader must be refreshed; it is logged at
+   the next commit and home-written lazily (never a synchronous I/O). *)
+let refresh_leader t (e : Entry.t) =
+  if e.Entry.anchor >= 0 then
+    Hashtbl.replace t.pending_leaders e.Entry.anchor
+      { image = leader_image_of_entry t e; logged_third = None }
+
+let read_leader t (e : Entry.t) =
+  match Hashtbl.find_opt t.pending_leaders e.Entry.anchor with
+  | Some pl -> Leader.decode pl.image
+  | None -> (
+    match Device.read t.device e.Entry.anchor with
+    | b -> Leader.decode b
+    | exception Device.Error { sector; _ } ->
+      Fs_error.raise_ (Fs_error.Damaged_data { name = "<leader>"; sector }))
+
+let check_leader t name (e : Entry.t) leader =
+  match leader with
+  | Some l when Leader.matches l e -> Hashtbl.replace t.verified e.Entry.uid ()
+  | Some _ | None ->
+    corrupt (Printf.sprintf "leader/name-table mismatch for %s (uid %Ld)" name e.Entry.uid)
+
+let leader_verified t (e : Entry.t) =
+  e.Entry.anchor < 0 || Hashtbl.mem t.verified e.Entry.uid
+
+(* ------------------------------------------------------------------ *)
+(* Data I/O                                                            *)
+
+let read_sectors_of_runs t runs buf =
+  let sb = sector_bytes t in
+  let off = ref 0 in
+  List.iter
+    (fun r ->
+      let data = Device.read_run t.device ~sector:r.Run_table.start ~count:r.Run_table.len in
+      Bytes.blit data 0 buf !off (r.Run_table.len * sb);
+      off := !off + (r.Run_table.len * sb))
+    (Run_table.runs runs)
+
+(* Read the whole file; on the first access, verify the leader — combined
+   with the first data transfer when it is physically adjacent (§5.7). *)
+let read_file_bytes t name (e : Entry.t) =
+  let sb = sector_bytes t in
+  let npages = Run_table.pages e.Entry.runs in
+  let buf = Bytes.create (npages * sb) in
+  let piggyback_possible =
+    (not (leader_verified t e))
+    && (not (Hashtbl.mem t.pending_leaders e.Entry.anchor))
+    && npages > 0
+    && Run_table.sector_of_page e.Entry.runs 0 = e.Entry.anchor + 1
+  in
+  (try
+     if piggyback_possible then begin
+       let runs = Run_table.runs e.Entry.runs in
+       match runs with
+       | first :: rest ->
+         let combined =
+           Device.read_run t.device ~sector:e.Entry.anchor ~count:(1 + first.Run_table.len)
+         in
+         t.counters.leader_piggybacks <- t.counters.leader_piggybacks + 1;
+         let leader = Leader.decode (Bytes.sub combined 0 sb) in
+         check_leader t name e leader;
+         Bytes.blit combined sb buf 0 (first.Run_table.len * sb);
+         let off = ref (first.Run_table.len * sb) in
+         List.iter
+           (fun r ->
+             let d = Device.read_run t.device ~sector:r.Run_table.start ~count:r.Run_table.len in
+             Bytes.blit d 0 buf !off (r.Run_table.len * sb);
+             off := !off + (r.Run_table.len * sb))
+           rest
+       | [] -> assert false
+     end
+     else begin
+       if (not (leader_verified t e)) && e.Entry.anchor >= 0 then
+         check_leader t name e (read_leader t e);
+       read_sectors_of_runs t e.Entry.runs buf
+     end
+   with Device.Error { sector; _ } ->
+     Fs_error.raise_ (Fs_error.Damaged_data { name; sector }));
+  Bytes.sub buf 0 e.Entry.byte_size
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+let op_done t ?(pages = 0) () =
+  t.counters.ops <- t.counters.ops + 1;
+  cpu t (t.params.Params.cpu_op_us + (pages * t.params.Params.cpu_page_us));
+  maybe_commit t
+
+let split_leader_runs runs =
+  match runs with
+  | [] -> invalid_arg "split_leader_runs"
+  | first :: rest ->
+    let leader = first.Run_table.start in
+    let data =
+      if first.Run_table.len > 1 then
+        { Run_table.start = first.Run_table.start + 1; len = first.Run_table.len - 1 }
+        :: rest
+      else rest
+    in
+    (leader, data)
+
+let versions t ~name =
+  let lo, hi = Fname.bounds ~name in
+  B.fold_range ~lo ~hi t.tree ~init:[] ~f:(fun acc k _ ->
+      match Fname.parse k with Some (_, v) -> v :: acc | None -> acc)
+  |> List.rev
+
+let delete_version_unchecked t name version =
+  let key = Fname.key ~name ~version in
+  match B.find t.tree key with
+  | None -> Fs_error.raise_ (Fs_error.No_such_file (Printf.sprintf "%s!%d" name version))
+  | Some v ->
+    let e = decode_entry name v in
+    ignore (B.delete t.tree key : bool);
+    spoil_saved_vam t;
+    if e.Entry.anchor >= 0 then begin
+      (* The leader and the data pages return to the VAM at commit. *)
+      Alloc.free_on_commit t.alloc
+        ({ Run_table.start = e.Entry.anchor; len = 1 } :: Run_table.runs e.Entry.runs);
+      Hashtbl.remove t.pending_leaders e.Entry.anchor
+    end;
+    Hashtbl.remove t.verified e.Entry.uid
+
+let enforce_keep t name newest_version keep =
+  if keep > 0 then
+    List.iter
+      (fun v -> if v <= newest_version - keep then delete_version_unchecked t name v)
+      (versions t ~name)
+
+let create_common t ~name ~keep ~data_pages ~byte_size ~kind data_opt =
+  require_live t;
+  validate_name name;
+  spoil_saved_vam t;
+  let small = byte_size <= t.params.Params.small_file_bytes in
+  let runs =
+    match Alloc.allocate t.alloc ~sectors:(1 + data_pages) ~small with
+    | Ok rs -> rs
+    | Error `Volume_full -> Fs_error.raise_ Fs_error.Volume_full
+    | Error `Too_fragmented -> Fs_error.raise_ (Fs_error.Too_fragmented name)
+  in
+  let anchor, data_runs = split_leader_runs runs in
+  let uid = Fnt_store.fresh_uid t.store in
+  let version = match newest t name with Some (_, v, _) -> v + 1 | None -> 1 in
+  let entry =
+    {
+      Entry.uid;
+      keep;
+      byte_size;
+      created = now t;
+      runs = Run_table.of_runs data_runs;
+      anchor;
+      kind;
+    }
+  in
+  (try insert_entry t ~key:(Fname.key ~name ~version) entry
+   with e ->
+     Alloc.free_now t.alloc runs;
+     raise e);
+  let limage = leader_image_of_entry t entry in
+  (match data_opt with
+  | Some data ->
+    (* One synchronous I/O: the leader and the first data run together. *)
+    let sb = sector_bytes t in
+    let padded = Bytes.make (data_pages * sb) '\000' in
+    Bytes.blit data 0 padded 0 (Bytes.length data);
+    (match Run_table.runs entry.Entry.runs with
+    | first :: rest when first.Run_table.start = anchor + 1 ->
+      let combined = Bytes.create ((1 + first.Run_table.len) * sb) in
+      Bytes.blit limage 0 combined 0 sb;
+      Bytes.blit padded 0 combined sb (first.Run_table.len * sb);
+      Device.write_run t.device ~sector:anchor combined;
+      let off = ref (first.Run_table.len * sb) in
+      List.iter
+        (fun r ->
+          Device.write_run t.device ~sector:r.Run_table.start
+            (Bytes.sub padded !off (r.Run_table.len * sb));
+          off := !off + (r.Run_table.len * sb))
+        rest
+    | runs ->
+      (* Leader not adjacent to the data (fragmented volume): write it
+         separately. *)
+      Device.write t.device anchor limage;
+      let off = ref 0 in
+      List.iter
+        (fun r ->
+          Device.write_run t.device ~sector:r.Run_table.start
+            (Bytes.sub padded !off (r.Run_table.len * sb));
+          off := !off + (r.Run_table.len * sb))
+        runs);
+    Hashtbl.replace t.verified uid ()
+  | None ->
+    (* No data write to piggyback on: the leader goes through the log. *)
+    Hashtbl.replace t.pending_leaders anchor { image = limage; logged_third = None });
+  enforce_keep t name version keep;
+  op_done t ~pages:data_pages ();
+  info_of name version entry
+
+let create t ~name ?keep data =
+  let keep = Option.value keep ~default:t.params.Params.default_keep in
+  let sb = sector_bytes t in
+  let byte_size = Bytes.length data in
+  let data_pages = max 1 ((byte_size + sb - 1) / sb) in
+  create_common t ~name ~keep ~data_pages ~byte_size ~kind:Entry.Local (Some data)
+
+let create_empty t ~name ?keep ~pages () =
+  if pages < 0 then invalid_arg "Fsd.create_empty";
+  let keep = Option.value keep ~default:t.params.Params.default_keep in
+  let sb = sector_bytes t in
+  create_common t ~name ~keep ~data_pages:pages ~byte_size:(pages * sb)
+    ~kind:Entry.Local None
+
+let import_cached t ~name ~server data =
+  let sb = sector_bytes t in
+  let byte_size = Bytes.length data in
+  let data_pages = max 1 ((byte_size + sb - 1) / sb) in
+  create_common t ~name ~keep:t.params.Params.default_keep ~data_pages ~byte_size
+    ~kind:(Entry.Cached { server; last_used = now t })
+    (Some data)
+
+let create_symlink t ~name ~target =
+  require_live t;
+  validate_name name;
+  let uid = Fnt_store.fresh_uid t.store in
+  let version = match newest t name with Some (_, v, _) -> v + 1 | None -> 1 in
+  let entry =
+    {
+      Entry.uid;
+      keep = t.params.Params.default_keep;
+      byte_size = 0;
+      created = now t;
+      runs = Run_table.empty;
+      anchor = -1;
+      kind = Entry.Symlink { target };
+    }
+  in
+  insert_entry t ~key:(Fname.key ~name ~version) entry;
+  enforce_keep t name version entry.Entry.keep;
+  op_done t ()
+
+let open_stat t ~name =
+  require_live t;
+  let _, version, e = newest_exn t name in
+  op_done t ();
+  info_of name version e
+
+let exists t ~name =
+  require_live t;
+  let r = newest t name <> None in
+  op_done t ();
+  r
+
+let readlink t ~name =
+  require_live t;
+  let _, _, e = newest_exn t name in
+  op_done t ();
+  match e.Entry.kind with Entry.Symlink { target } -> Some target | _ -> None
+
+let rec read_all_depth t ~name ~depth =
+  require_live t;
+  let _, _, e = newest_exn t name in
+  match e.Entry.kind with
+  | Entry.Symlink { target } ->
+    if depth >= 8 then corrupt ("symlink chain too deep at " ^ name)
+    else read_all_depth t ~name:target ~depth:(depth + 1)
+  | Entry.Local | Entry.Cached _ ->
+    let bytes = read_file_bytes t name e in
+    op_done t ~pages:(Run_table.pages e.Entry.runs) ();
+    bytes
+
+let read_all t ~name = read_all_depth t ~name ~depth:0
+
+let read_page t ~name ~page =
+  require_live t;
+  let _, _, e = newest_exn t name in
+  let npages = Run_table.pages e.Entry.runs in
+  if page < 0 || page >= npages then Fs_error.raise_ (Fs_error.Bad_page { name; page });
+  let sector = Run_table.sector_of_page e.Entry.runs page in
+  let sb = sector_bytes t in
+  let result =
+    try
+      if leader_verified t e then Device.read t.device sector
+      else if
+        page = 0
+        && sector = e.Entry.anchor + 1
+        && not (Hashtbl.mem t.pending_leaders e.Entry.anchor)
+      then begin
+        (* §5.7: the leader is the previous physical page; verifying it
+           costs only one extra sector of transfer. *)
+        let combined = Device.read_run t.device ~sector:e.Entry.anchor ~count:2 in
+        t.counters.leader_piggybacks <- t.counters.leader_piggybacks + 1;
+        check_leader t name e (Leader.decode (Bytes.sub combined 0 sb));
+        Bytes.sub combined sb sb
+      end
+      else begin
+        check_leader t name e (read_leader t e);
+        Device.read t.device sector
+      end
+    with Device.Error { sector; _ } ->
+      Fs_error.raise_ (Fs_error.Damaged_data { name; sector })
+  in
+  op_done t ~pages:1 ();
+  result
+
+let write_page t ~name ~page data =
+  require_live t;
+  let _, _, e = newest_exn t name in
+  let npages = Run_table.pages e.Entry.runs in
+  if page < 0 || page >= npages then Fs_error.raise_ (Fs_error.Bad_page { name; page });
+  Device.write t.device (Run_table.sector_of_page e.Entry.runs page) data;
+  op_done t ~pages:1 ()
+
+let update_entry t ~key (e : Entry.t) =
+  insert_entry t ~key e;
+  refresh_leader t e
+
+let extend t ~name ~pages =
+  require_live t;
+  if pages <= 0 then invalid_arg "Fsd.extend";
+  let key, _, e = newest_exn t name in
+  spoil_saved_vam t;
+  let small = Run_table.pages e.Entry.runs + pages <= 8 in
+  let new_runs =
+    match Alloc.allocate t.alloc ~sectors:pages ~small with
+    | Ok rs -> rs
+    | Error `Volume_full -> Fs_error.raise_ Fs_error.Volume_full
+    | Error `Too_fragmented -> Fs_error.raise_ (Fs_error.Too_fragmented name)
+  in
+  let runs =
+    try Run_table.of_runs (Run_table.runs e.Entry.runs @ new_runs)
+    with Invalid_argument _ -> corrupt ("run table overlap extending " ^ name)
+  in
+  let sb = sector_bytes t in
+  let e' = { e with Entry.runs; byte_size = e.Entry.byte_size + (pages * sb) } in
+  (try update_entry t ~key e'
+   with exn ->
+     Alloc.free_now t.alloc new_runs;
+     raise exn);
+  Hashtbl.remove t.verified e.Entry.uid;
+  Hashtbl.replace t.verified e'.Entry.uid (); (* leader refreshed in pending *)
+  op_done t ()
+
+let contract t ~name ~pages =
+  require_live t;
+  if pages < 0 then invalid_arg "Fsd.contract";
+  let key, _, e = newest_exn t name in
+  let current = Run_table.pages e.Entry.runs in
+  if pages > current then Fs_error.raise_ (Fs_error.Bad_page { name; page = pages });
+  spoil_saved_vam t;
+  let runs, freed = Run_table.truncate e.Entry.runs ~pages in
+  let sb = sector_bytes t in
+  let e' =
+    { e with Entry.runs; byte_size = min e.Entry.byte_size (pages * sb) }
+  in
+  update_entry t ~key e';
+  Alloc.free_on_commit t.alloc freed;
+  op_done t ()
+
+let delete t ~name =
+  require_live t;
+  let _, version, e = newest_exn t name in
+  delete_version_unchecked t name version;
+  (* freeing cost scales with the run table and the shadow-bitmap work *)
+  op_done t ~pages:(Run_table.pages e.Entry.runs / 2) ()
+
+let delete_version t ~name ~version =
+  require_live t;
+  validate_name name;
+  delete_version_unchecked t name version;
+  op_done t ()
+
+let set_keep t ~name ~keep =
+  require_live t;
+  if keep < 0 then invalid_arg "Fsd.set_keep";
+  let key, version, e = newest_exn t name in
+  insert_entry t ~key { e with Entry.keep };
+  enforce_keep t name version keep;
+  op_done t ()
+
+(* Rename is pure metadata: both the removal and the insertion ride the
+   same group commit, so the pair is atomic (one log record). *)
+let rename t ~from_ ~to_ =
+  require_live t;
+  validate_name to_;
+  let from_key, _, e = newest_exn t from_ in
+  (match newest t to_ with
+  | Some _ -> Fs_error.raise_ (Fs_error.Bad_name { name = to_; reason = "target exists" })
+  | None -> ());
+  ignore (B.delete t.tree from_key : bool);
+  insert_entry t ~key:(Fname.key ~name:to_ ~version:1) e;
+  op_done t ()
+
+(* Copy duplicates the data pages under a fresh uid and leader. *)
+let copy t ~from_ ~to_ =
+  require_live t;
+  let data = read_all t ~name:from_ in
+  let _, _, e = newest_exn t from_ in
+  create t ~name:to_ ~keep:e.Entry.keep data
+
+let touch_cached t ~name =
+  require_live t;
+  let key, _, e = newest_exn t name in
+  (match e.Entry.kind with
+  | Entry.Cached { server; _ } ->
+    insert_entry t ~key
+      { e with Entry.kind = Entry.Cached { server; last_used = now t } }
+  | Entry.Local | Entry.Symlink _ ->
+    corrupt (name ^ " is not a cached remote file"));
+  op_done t ()
+
+let last_used t ~name =
+  require_live t;
+  let _, _, e = newest_exn t name in
+  op_done t ();
+  match e.Entry.kind with
+  | Entry.Cached { last_used; _ } -> Some last_used
+  | Entry.Local | Entry.Symlink _ -> None
+
+let list t ~prefix =
+  require_live t;
+  let hi = prefix ^ "\xff\xff\xff\xff" in
+  let acc = ref [] in
+  let current : (string * int * Entry.t) option ref = ref None in
+  let entries = ref 0 in
+  let flush () =
+    match !current with
+    | Some (n, v, e) -> acc := info_of n v e :: !acc
+    | None -> ()
+  in
+  B.iter_range ~lo:prefix ~hi t.tree (fun k v ->
+      incr entries;
+      match Fname.parse k with
+      | None -> ()
+      | Some (n, ver) ->
+        (match !current with
+        | Some (cn, _, _) when not (String.equal cn n) -> flush ()
+        | Some _ | None -> ());
+        current := Some (n, ver, decode_entry n v));
+  flush ();
+  cpu t (!entries * t.params.Params.cpu_page_us);
+  op_done t ();
+  List.rev !acc
+
+let tick t ~us =
+  require_live t;
+  Simclock.advance t.clock us;
+  maybe_commit t
+
+let save_vam t =
+  require_live t;
+  force t;
+  if not t.params.Params.log_vam then begin
+    (* An idle snapshot, trusted until the next mutation. With VAM
+       logging the boot-time base plus the log already cover the map. *)
+    Vam.save (Alloc.vam t.alloc) t.device;
+    t.vam_saved_clean <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let format device params =
+  let geom = Device.geometry device in
+  let layout = Layout.compute geom params in
+  let store = Fnt_store.create_fresh device layout in
+  Fnt_store.flush_anchor store;
+  Log.format device layout;
+  Vam.save (Vam.create_all_free layout) device;
+  Boot_page.write device ~sector_bytes:geom.Geometry.sector_bytes
+    {
+      Boot_page.boot_count = 0;
+      clean_shutdown = true;
+      fnt_page_sectors = params.Params.fnt_page_sectors;
+      fnt_pages = params.Params.fnt_pages;
+      log_sectors = params.Params.log_sectors;
+      log_vam = params.Params.log_vam;
+      track_tolerant_log = params.Params.track_tolerant_log;
+    }
+
+(* Scan the whole name table once: mark allocated sectors in the VAM and
+   collect anchor-sector -> uid for validating logged leader images. *)
+let scan_name_table t_tree vam anchors cpu_per_entry clock =
+  B.iter t_tree (fun k v ->
+      Simclock.advance clock cpu_per_entry;
+      match Entry.decode v with
+      | exception Bytebuf.Decode_error m ->
+        corrupt (Printf.sprintf "entry %s does not decode during scan: %s" k m)
+      | e ->
+        if e.Entry.anchor >= 0 then begin
+          (match vam with
+          | Some vm -> Vam.mark_allocated_for_rebuild vm e.Entry.anchor
+          | None -> ());
+          Hashtbl.replace anchors e.Entry.anchor e.Entry.uid
+        end;
+        match vam with
+        | Some vm -> Run_table.iter_sectors e.Entry.runs (Vam.mark_allocated_for_rebuild vm)
+        | None -> ())
+
+let boot ?params device =
+  let clock = Device.clock device in
+  let geom = Device.geometry device in
+  let t_start = Simclock.now clock in
+  let bp =
+    match Boot_page.read device with
+    | Some bp -> bp
+    | None -> corrupt "both boot pages are unreadable"
+  in
+  (* Explicit params win; otherwise the volume's own boot page decides,
+     including the extension flags it was formatted with. *)
+  let runtime =
+    match params with
+    | Some p -> p
+    | None ->
+      {
+        (Params.for_geometry geom) with
+        Params.log_vam = bp.Boot_page.log_vam;
+        track_tolerant_log = bp.Boot_page.track_tolerant_log;
+      }
+  in
+  let p =
+    {
+      runtime with
+      Params.fnt_page_sectors = bp.Boot_page.fnt_page_sectors;
+      fnt_pages = bp.Boot_page.fnt_pages;
+      log_sectors = bp.Boot_page.log_sectors;
+    }
+  in
+  let layout = Layout.compute geom p in
+  let boot_count = bp.Boot_page.boot_count + 1 in
+  Boot_page.write device ~sector_bytes:geom.Geometry.sector_bytes
+    { bp with Boot_page.boot_count; clean_shutdown = false };
+  (* Log replay: committed page images go home. *)
+  let r0 = Simclock.now clock in
+  let rec_info = Log.recover device layout in
+  let fnt_images =
+    List.filter_map
+      (fun (kind, image, _no) ->
+        match kind with Log.Fnt_page id -> Some (id, image) | _ -> None)
+      rec_info.Log.images
+  in
+  let leader_images =
+    List.filter_map
+      (fun (kind, image, _no) ->
+        match kind with Log.Leader_page s -> Some (s, image) | _ -> None)
+      rec_info.Log.images
+  in
+  let vam_chunk_images =
+    List.filter_map
+      (fun (kind, image, no) ->
+        match kind with Log.Vam_chunk c -> Some (c, image, no) | _ -> None)
+      rec_info.Log.images
+  in
+  List.iter
+    (fun (id, image) -> Fnt_store.write_home_image device layout ~page:id image)
+    fnt_images;
+  Simclock.advance clock
+    (runtime.Params.cpu_page_us * rec_info.Log.replayed_records * 4);
+  let log_replay_us = Simclock.now clock - r0 in
+  (* Attach the recovered structures. *)
+  let t_ref = ref None in
+  let on_enter j =
+    match !t_ref with Some t -> handle_enter_third t j | None -> ()
+  in
+  let base_no =
+    match rec_info.Log.last_record_no with
+    | Some n -> max n rec_info.Log.pointer_record_no
+    | None -> rec_info.Log.pointer_record_no
+  in
+  let log =
+    Log.attach device layout ~boot_count
+      ~next_record_no:(Int64.add base_no 1_000_000L)
+      ~write_off:rec_info.Log.next_write_off ~on_enter_third:on_enter
+  in
+  let store = Fnt_store.attach device layout in
+  let tree = B.attach store in
+  (* VAM: with VAM logging, rebuild from the saved base plus the logged
+     chunk images; otherwise trust a clean snapshot; else reconstruct
+     from the name table. A mode mismatch (the volume last ran with the
+     other setting) falls back to reconstruction. *)
+  let v0 = Simclock.now clock in
+  let anchors = Hashtbl.create 64 in
+  let reconstruct () =
+    let vm = Vam.create_all_free layout in
+    scan_name_table tree (Some vm) anchors (runtime.Params.cpu_page_us / 2) clock;
+    (vm, Vam_reconstructed, true)
+  in
+  let vam, vam_source, scanned =
+    match (Vam.load layout device, p.Params.log_vam) with
+    | Some (vm, Vam.Log_based, epoch), true ->
+      (* Chunk images from records at or below the base's epoch predate
+         the base (it was rewritten after they were logged): skip them. *)
+      List.iter
+        (fun (c, image, no) ->
+          if Int64.compare no epoch > 0 then Vam.apply_chunk vm c image)
+        vam_chunk_images;
+      Simclock.advance clock (List.length vam_chunk_images * runtime.Params.cpu_page_us);
+      (vm, Vam_replayed, false)
+    | Some (vm, Vam.Snapshot, _), false ->
+      Vam.invalidate_saved layout device;
+      (vm, Vam_loaded, false)
+    | Some _, _ | None, _ -> reconstruct ()
+  in
+  (* With VAM logging, rewrite the base now: the pointer was just reset,
+     so every surviving chunk record will postdate this image. *)
+  if p.Params.log_vam then begin
+    Vam.save ~mode:Vam.Log_based
+      ~epoch:(Int64.sub (Log.next_record_no log) 1L)
+      vam device;
+    ignore (Vam.drain_dirty_chunks vam : int list)
+  end;
+  let vam_us = Simclock.now clock - v0 in
+  (* Leader images are applied only where the (recovered) name table still
+     points: stale ones could stomp reused data sectors. *)
+  let skipped_leaders = ref 0 in
+  if leader_images <> [] then begin
+    if not scanned then
+      scan_name_table tree None anchors (runtime.Params.cpu_page_us / 2) clock;
+    List.iter
+      (fun (sector, image) ->
+        let ok =
+          match (Leader.decode image, Hashtbl.find_opt anchors sector) with
+          | Some l, Some uid -> Int64.equal l.Leader.uid uid
+          | _, _ -> false
+        in
+        if ok then Device.write device sector image else incr skipped_leaders)
+      leader_images
+  end;
+  let t =
+    {
+      device;
+      clock;
+      layout;
+      params = p;
+      store;
+      tree;
+      log;
+      alloc = Alloc.create vam;
+      pending_leaders = Hashtbl.create 32;
+      chunk_thirds = Hashtbl.create 32;
+      verified = Hashtbl.create 256;
+      last_force = Simclock.now clock;
+      live = true;
+      vam_saved_clean = false;
+      boot_count;
+      counters = mk_counters ();
+    }
+  in
+  t_ref := Some t;
+  let report =
+    {
+      boot_count;
+      replayed_records = rec_info.Log.replayed_records;
+      replayed_pages =
+        List.length fnt_images + List.length leader_images
+        + List.length vam_chunk_images;
+      corrected_sectors = rec_info.Log.corrected_sectors;
+      skipped_leaders = !skipped_leaders;
+      vam_source;
+      log_replay_us;
+      vam_us;
+      total_us = Simclock.now clock - t_start;
+    }
+  in
+  (t, report)
+
+let shutdown t =
+  require_live t;
+  force t;
+  ignore (Fnt_store.flush_all_dirty t.store : int);
+  Hashtbl.iter
+    (fun sector pl ->
+      Device.write t.device sector pl.image;
+      t.counters.leader_home_writes <- t.counters.leader_home_writes + 1)
+    t.pending_leaders;
+  Hashtbl.reset t.pending_leaders;
+  Log.reset_pointer t.log;
+  let mode = if t.params.Params.log_vam then Vam.Log_based else Vam.Snapshot in
+  Vam.save ~mode
+    ~epoch:(Int64.sub (Log.next_record_no t.log) 1L)
+    (Alloc.vam t.alloc) t.device;
+  ignore (Vam.drain_dirty_chunks (Alloc.vam t.alloc) : int list);
+  Hashtbl.reset t.chunk_thirds;
+  Boot_page.write t.device ~sector_bytes:(sector_bytes t)
+    {
+      Boot_page.boot_count = t.boot_count;
+      clean_shutdown = true;
+      fnt_page_sectors = t.params.Params.fnt_page_sectors;
+      fnt_pages = t.params.Params.fnt_pages;
+      log_sectors = t.params.Params.log_sectors;
+      log_vam = t.params.Params.log_vam;
+      track_tolerant_log = t.params.Params.track_tolerant_log;
+    };
+  t.live <- false
+
+(* ------------------------------------------------------------------ *)
+(* Checking and the Ops vtable                                         *)
+
+let check t =
+  match B.check t.tree with
+  | Error m -> Error ("btree: " ^ m)
+  | Ok () -> (
+    let bad = ref [] in
+    (* Leader/name-table mutual check, plus an allocation audit: every
+       referenced sector must be marked allocated and no sector may be
+       claimed twice. *)
+    let claimed = Hashtbl.create 256 in
+    let claim k s =
+      if Hashtbl.mem claimed s then
+        bad := Printf.sprintf "%s: sector %d claimed twice" k s :: !bad
+      else begin
+        Hashtbl.replace claimed s ();
+        if Vam.is_free (Alloc.vam t.alloc) s then
+          bad := Printf.sprintf "%s: sector %d in use but marked free" k s :: !bad
+      end
+    in
+    B.iter t.tree (fun k v ->
+        match Entry.decode v with
+        | exception Bytebuf.Decode_error m -> bad := (k ^ ": " ^ m) :: !bad
+        | e ->
+          if e.Entry.anchor >= 0 then begin
+            claim k e.Entry.anchor;
+            Run_table.iter_sectors e.Entry.runs (claim k);
+            match read_leader t e with
+            | Some l when Leader.matches l e -> ()
+            | Some _ -> bad := (k ^ ": leader mismatch") :: !bad
+            | None -> bad := (k ^ ": leader unreadable") :: !bad
+            | exception Fs_error.Fs_error _ ->
+              bad := (k ^ ": leader sector damaged") :: !bad
+          end);
+    match !bad with
+    | [] -> Ok ()
+    | problems -> Error (String.concat "; " problems))
+
+let fnt_stats t = B.stats t.tree
+
+let fold_entries t ~init ~f =
+  require_live t;
+  B.fold_range t.tree ~init ~f:(fun acc k v ->
+      match Fname.parse k with
+      | None -> acc
+      | Some (name, version) -> f acc ~name ~version (decode_entry name v))
+
+let sector_is_free t s = Vam.is_free (Alloc.vam t.alloc) s
+
+let ops t =
+  {
+    Fs_ops.label = "FSD";
+    create = (fun ~name ~data -> create t ~name data);
+    open_stat = (fun ~name -> open_stat t ~name);
+    read_all = (fun ~name -> read_all t ~name);
+    read_page = (fun ~name ~page -> read_page t ~name ~page);
+    delete = (fun ~name -> delete t ~name);
+    list = (fun ~prefix -> list t ~prefix);
+    force = (fun () -> force t);
+    device = t.device;
+    clock = t.clock;
+  }

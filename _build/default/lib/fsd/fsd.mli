@@ -1,0 +1,147 @@
+(** FSD — the reimplemented Cedar file system (the paper's contribution).
+
+    All name-table and leader-page updates go through a physical redo log
+    forced every half second of virtual time (group commit); file creation
+    costs one synchronous combined leader+data write; open, delete, list
+    and property changes normally cost no I/O at all. The free-page map is
+    volatile. Crash recovery replays the log (seconds) and, when the VAM
+    was not saved cleanly, reconstructs it from the name table.
+
+    All operations raise {!Cedar_fsbase.Fs_error.Fs_error} on failure. *)
+
+type t
+
+type vam_source =
+  | Vam_loaded  (** clean snapshot from the save area *)
+  | Vam_reconstructed  (** rebuilt by scanning the name table *)
+  | Vam_replayed
+      (** VAM-logging extension: saved base plus logged chunk images *)
+
+type boot_report = {
+  boot_count : int;
+  replayed_records : int;
+  replayed_pages : int;  (** page images written home by recovery *)
+  corrected_sectors : int;
+  skipped_leaders : int;
+      (** logged leader images dropped because the name table no longer
+          references their sector (the file was deleted and the sector
+          possibly reused — writing would risk data) *)
+  vam_source : vam_source;
+  log_replay_us : int;
+  vam_us : int;
+  total_us : int;
+}
+
+type counters = {
+  mutable ops : int;
+  mutable forces : int;
+  mutable empty_forces : int;
+  mutable leader_piggybacks : int;  (** leader reads combined with data *)
+  mutable leader_home_writes : int;  (** written by the logging code *)
+  mutable vam_base_rewrites : int;
+      (** VAM-logging extension: full base images written at third
+          entries to retire stale chunk records *)
+}
+
+(** {1 Lifecycle} *)
+
+val format : Cedar_disk.Device.t -> Params.t -> unit
+(** Initialise an empty volume (boot pages, anchor, log, clean VAM). *)
+
+val boot : ?params:Params.t -> Cedar_disk.Device.t -> t * boot_report
+(** Run recovery and attach. [params] supplies runtime knobs; the
+    layout-defining fields are taken from the boot page. *)
+
+val shutdown : t -> unit
+(** Controlled shutdown: force, write everything home, save the VAM. *)
+
+val is_live : t -> bool
+
+(** {1 Files}
+
+    [name] operations address the newest version unless stated. *)
+
+val create : t -> name:string -> ?keep:int -> bytes -> Cedar_fsbase.Fs_ops.info
+val create_empty : t -> name:string -> ?keep:int -> pages:int -> unit -> Cedar_fsbase.Fs_ops.info
+(** Allocates space without writing data (the leader is logged and later
+    written by the logging code — §5.3's non-piggybacked path). *)
+
+val open_stat : t -> name:string -> Cedar_fsbase.Fs_ops.info
+val exists : t -> name:string -> bool
+val read_all : t -> name:string -> bytes
+(** Dereferences a symlink one level. *)
+
+val read_page : t -> name:string -> page:int -> bytes
+val write_page : t -> name:string -> page:int -> bytes -> unit
+val extend : t -> name:string -> pages:int -> unit
+val contract : t -> name:string -> pages:int -> unit
+(** Truncate to [pages] data pages. *)
+
+val rename : t -> from_:string -> to_:string -> unit
+(** Move the newest version of [from_] to (a fresh) [to_]. Pure metadata:
+    the removal and insertion commit together in one log record. Fails if
+    [to_] exists. *)
+
+val copy : t -> from_:string -> to_:string -> Cedar_fsbase.Fs_ops.info
+(** Duplicate the newest version's contents as a new file (fresh uid,
+    leader, and pages). *)
+
+val delete : t -> name:string -> unit
+val delete_version : t -> name:string -> version:int -> unit
+val set_keep : t -> name:string -> keep:int -> unit
+val list : t -> prefix:string -> Cedar_fsbase.Fs_ops.info list
+val versions : t -> name:string -> int list
+
+(** {1 Remote-file entries (§4: symlinks and cached copies)} *)
+
+val create_symlink : t -> name:string -> target:string -> unit
+val readlink : t -> name:string -> string option
+val import_cached :
+  t -> name:string -> server:string -> bytes -> Cedar_fsbase.Fs_ops.info
+val touch_cached : t -> name:string -> unit
+(** Update the cached copy's last-used time — pure metadata, absorbed by
+    group commit (§5.4's example). *)
+
+val last_used : t -> name:string -> int option
+
+(** {1 Commit and time} *)
+
+val force : t -> unit
+(** Client-requested log force (§5.4: "clients may force the log"). *)
+
+val tick : t -> us:int -> unit
+(** Advance virtual time (idle workstation); fires the commit demon when
+    the interval has elapsed. *)
+
+val save_vam : t -> unit
+(** Idle-period VAM save (valid until the next metadata mutation). *)
+
+(** {1 Introspection} *)
+
+val ops : t -> Cedar_fsbase.Fs_ops.t
+val layout : t -> Layout.t
+val device : t -> Cedar_disk.Device.t
+val free_sectors : t -> int
+val counters : t -> counters
+val log_stats : t -> Log.stats
+val fnt_home_writes : t -> int
+val fnt_repairs : t -> int
+val fnt_stats : t -> Cedar_btree.Btree.stats
+(** Shape of the name-table B-tree. *)
+
+val fold_entries :
+  t ->
+  init:'a ->
+  f:('a -> name:string -> version:int -> Cedar_fsbase.Entry.t -> 'a) ->
+  'a
+(** Fold over every name-table entry in key order. *)
+
+val sector_is_free : t -> int -> bool
+
+val drop_caches : t -> unit
+(** Write dirty name-table pages home and evict the whole cache
+    (cold-cache benchmarking). *)
+
+val check : t -> (unit, string) result
+(** Structural check: B-tree invariants plus leader/name-table mutual
+    checks for every file. *)

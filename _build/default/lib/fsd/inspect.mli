@@ -1,0 +1,20 @@
+(** Read-only volume inspection — the debugfs/xfs_db of this repository.
+
+    Everything here works from the on-disk state (plus a booted handle
+    for the in-memory views) and writes human-readable reports; nothing
+    is modified. Used by [cedar inspect] and handy when a test fails. *)
+
+val log_report : Cedar_disk.Device.t -> Layout.t -> Format.formatter -> unit
+(** The oldest-record pointer and every surviving record: number, body
+    offset, total sectors, and the logged units. *)
+
+val name_table_report : Fsd.t -> Format.formatter -> unit
+(** B-tree shape (depth, pages, fill) and per-kind entry counts. *)
+
+val vam_report : Fsd.t -> Format.formatter -> unit
+(** Free-space totals and the ten largest free extents per area. *)
+
+val layout_report : Layout.t -> Format.formatter -> unit
+
+val volume_report : Fsd.t -> string
+(** All of the above for a booted volume. *)

@@ -1,0 +1,68 @@
+open Cedar_util
+open Cedar_fsbase
+
+type t = {
+  uid : int64;
+  preamble : Run_table.run option;
+  run_crc : int;
+  created : int;
+}
+
+let magic = 0x4c445231 (* "LDR1" *)
+
+let of_entry (e : Entry.t) =
+  {
+    uid = e.Entry.uid;
+    preamble = (match Run_table.runs e.Entry.runs with [] -> None | r :: _ -> Some r);
+    run_crc = Run_table.crc e.Entry.runs;
+    created = e.Entry.created;
+  }
+
+let encode t ~sector_bytes =
+  let w = Bytebuf.Writer.create () in
+  Bytebuf.Writer.u32 w magic;
+  Bytebuf.Writer.u64 w t.uid;
+  (match t.preamble with
+  | None -> Bytebuf.Writer.bool w false
+  | Some r ->
+    Bytebuf.Writer.bool w true;
+    Bytebuf.Writer.u32 w r.Run_table.start;
+    Bytebuf.Writer.u32 w r.Run_table.len);
+  Bytebuf.Writer.u32 w t.run_crc;
+  Bytebuf.Writer.i64 w t.created;
+  (* Self-checksum so a torn or wild write is detectable. *)
+  let body = Bytebuf.Writer.contents w in
+  Bytebuf.Writer.u32 w (Crc32.bytes body);
+  Bytebuf.Writer.to_sector w ~size:sector_bytes
+
+let decode b =
+  match
+    let r = Bytebuf.Reader.of_bytes b in
+    let m = Bytebuf.Reader.u32 r in
+    if m <> magic then None
+    else begin
+      let uid = Bytebuf.Reader.u64 r in
+      let preamble =
+        if Bytebuf.Reader.bool r then begin
+          let start = Bytebuf.Reader.u32 r in
+          let len = Bytebuf.Reader.u32 r in
+          Some { Run_table.start; len }
+        end
+        else None
+      in
+      let run_crc = Bytebuf.Reader.u32 r in
+      let created = Bytebuf.Reader.i64 r in
+      let body_len = Bytebuf.Reader.pos r in
+      let crc = Bytebuf.Reader.u32 r in
+      if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
+      else Some { uid; preamble; run_crc; created }
+    end
+  with
+  | v -> v
+  | exception Bytebuf.Decode_error _ -> None
+
+let matches t (e : Entry.t) =
+  let expected = of_entry e in
+  t.uid = expected.uid && t.run_crc = expected.run_crc
+  && t.preamble = expected.preamble
+  && t.created = expected.created

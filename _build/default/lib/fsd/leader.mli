@@ -1,0 +1,26 @@
+(** Leader pages (§5.2).
+
+    Each FSD file has one leader page, physically preceding its first data
+    page. It carries no information needed for operation — it is a
+    mutually-checking structure against the name table (uid, the preamble
+    of the run table, and a checksum of the whole run table). It is
+    verified opportunistically by piggybacking its read on the file's
+    first data access (§5.7). *)
+
+type t = {
+  uid : int64;
+  preamble : Cedar_fsbase.Run_table.run option;  (** first run of the table *)
+  run_crc : int;
+  created : int;
+}
+
+val of_entry : Cedar_fsbase.Entry.t -> t
+
+val encode : t -> sector_bytes:int -> bytes
+
+val decode : bytes -> t option
+(** [None] when the sector does not hold a well-formed leader. *)
+
+val matches : t -> Cedar_fsbase.Entry.t -> bool
+(** The §5.8 software check: does this leader corroborate the name-table
+    entry? *)

@@ -1,0 +1,512 @@
+open Cedar_util
+open Cedar_disk
+
+type unit_kind = Fnt_page of int | Leader_page of int | Vam_chunk of int
+type logged_unit = { kind : unit_kind; image : bytes }
+
+type stats = {
+  mutable records : int;
+  mutable data_sectors : int;
+  mutable total_sectors : int;
+  mutable third_entries : int;
+  record_sizes : Stats.t;
+}
+
+type t = {
+  device : Device.t;
+  layout : Layout.t;
+  boot_count : int;
+  on_enter_third : int -> unit;
+  mutable write_off : int; (* offset within the body, in sectors *)
+  mutable next_record_no : int64;
+  mutable current_third : int;
+  third_first : (int * int64) option array; (* first record per third *)
+  stats : stats;
+}
+
+let magic_hdr = 0x434c4831 (* "CLH1" *)
+let magic_end = 0x434c4531 (* "CLE1" *)
+let magic_ptr = 0x434c5031 (* "CLP1" *)
+let special = 0xa5c35a3c96e17896L
+
+let sector_bytes layout = layout.Layout.geom.Geometry.sector_bytes
+let body_start layout = layout.Layout.log_start + 3
+let third_sectors layout = (layout.Layout.log_sectors - 3) / 3
+let body_sectors layout = 3 * third_sectors layout
+
+let unit_sectors layout = function
+  | Fnt_page _ -> layout.Layout.params.Params.fnt_page_sectors
+  | Leader_page _ | Vam_chunk _ -> 1
+
+let data_sectors_of layout units =
+  List.fold_left (fun acc u -> acc + unit_sectors layout u.kind) 0 units
+
+let track_tolerant layout = layout.Layout.params.Params.track_tolerant_log
+let spt layout = layout.Layout.geom.Geometry.sectors_per_track
+
+(* Classic layout (§5.3): header, blank, header', data, end, data', end'
+   — copies separated by at least two sectors (survives 1-2 consecutive
+   failures). Track-tolerant layout: primary block (header, data, end)
+   and an identical copy block one full track later — every element's
+   copies are [sectors_per_track] apart, so losing a whole track leaves
+   one of each. *)
+let record_total_sectors layout units =
+  let n = data_sectors_of layout units in
+  if track_tolerant layout then spt layout + n + 2 else (2 * n) + 5
+
+let max_data_sectors_hard layout =
+  let sb = sector_bytes layout in
+  (* End page holds a u32 CRC per data sector after 26 bytes of framing;
+     the header holds 7 bytes per unit after 32. Leaders are the worst
+     case (one unit per sector). *)
+  let structural = min ((sb - 26 - 4) / 4) ((sb - 32 - 4) / 7) in
+  if track_tolerant layout then min structural (spt layout - 2) else structural
+
+(* ------------------------------------------------------------------ *)
+(* Sector codecs                                                       *)
+
+let kind_tag = function Fnt_page _ -> 0 | Leader_page _ -> 1 | Vam_chunk _ -> 2
+let kind_id = function Fnt_page id -> id | Leader_page s -> s | Vam_chunk i -> i
+
+let encode_header t units =
+  let w = Bytebuf.Writer.create () in
+  Bytebuf.Writer.u32 w magic_hdr;
+  Bytebuf.Writer.u64 w special;
+  Bytebuf.Writer.u64 w t.next_record_no;
+  Bytebuf.Writer.u32 w t.boot_count;
+  Bytebuf.Writer.u8 w (if track_tolerant t.layout then 1 else 0);
+  Bytebuf.Writer.u16 w (List.length units);
+  List.iter
+    (fun u ->
+      Bytebuf.Writer.u8 w (kind_tag u.kind);
+      Bytebuf.Writer.u32 w (kind_id u.kind);
+      Bytebuf.Writer.u16 w (unit_sectors t.layout u.kind))
+    units;
+  Bytebuf.Writer.u16 w (data_sectors_of t.layout units);
+  let body = Bytebuf.Writer.contents w in
+  Bytebuf.Writer.u32 w (Crc32.bytes body);
+  Bytebuf.Writer.to_sector w ~size:(sector_bytes t.layout)
+
+type header = {
+  h_record_no : int64;
+  h_boot_count : int;
+  h_track_tolerant : bool;
+  h_units : (unit_kind * int) list; (* kind, sectors *)
+  h_data_sectors : int;
+}
+
+let decode_header layout b =
+  match
+    let r = Bytebuf.Reader.of_bytes b in
+    let m = Bytebuf.Reader.u32 r in
+    if m <> magic_hdr then None
+    else if Bytebuf.Reader.u64 r <> special then None
+    else begin
+      let h_record_no = Bytebuf.Reader.u64 r in
+      let h_boot_count = Bytebuf.Reader.u32 r in
+      let h_track_tolerant = Bytebuf.Reader.u8 r = 1 in
+      let nunits = Bytebuf.Reader.u16 r in
+      let h_units =
+        List.init nunits (fun _ ->
+            let tag = Bytebuf.Reader.u8 r in
+            let id = Bytebuf.Reader.u32 r in
+            let n = Bytebuf.Reader.u16 r in
+            let kind =
+              match tag with
+              | 0 -> Fnt_page id
+              | 1 -> Leader_page id
+              | 2 -> Vam_chunk id
+              | _ -> raise (Bytebuf.Decode_error "bad unit tag")
+            in
+            (kind, n))
+      in
+      let h_data_sectors = Bytebuf.Reader.u16 r in
+      let body_len = Bytebuf.Reader.pos r in
+      let crc = Bytebuf.Reader.u32 r in
+      if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
+      else if
+        h_data_sectors <> List.fold_left (fun a (_, n) -> a + n) 0 h_units
+        || List.exists (fun (k, n) -> n <> unit_sectors layout k) h_units
+      then None
+      else Some { h_record_no; h_boot_count; h_track_tolerant; h_units; h_data_sectors }
+    end
+  with
+  | v -> v
+  | exception Bytebuf.Decode_error _ -> None
+
+let encode_end t ~record_no crcs =
+  let w = Bytebuf.Writer.create () in
+  Bytebuf.Writer.u32 w magic_end;
+  Bytebuf.Writer.u64 w special;
+  Bytebuf.Writer.u64 w record_no;
+  Bytebuf.Writer.u16 w (List.length crcs);
+  List.iter (Bytebuf.Writer.u32 w) crcs;
+  let body = Bytebuf.Writer.contents w in
+  Bytebuf.Writer.u32 w (Crc32.bytes body);
+  Bytebuf.Writer.to_sector w ~size:(sector_bytes t)
+
+let decode_end b =
+  match
+    let r = Bytebuf.Reader.of_bytes b in
+    let m = Bytebuf.Reader.u32 r in
+    if m <> magic_end then None
+    else if Bytebuf.Reader.u64 r <> special then None
+    else begin
+      let record_no = Bytebuf.Reader.u64 r in
+      let n = Bytebuf.Reader.u16 r in
+      let crcs = List.init n (fun _ -> Bytebuf.Reader.u32 r) in
+      let body_len = Bytebuf.Reader.pos r in
+      let crc = Bytebuf.Reader.u32 r in
+      if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
+      else Some (record_no, Array.of_list crcs)
+    end
+  with
+  | v -> v
+  | exception Bytebuf.Decode_error _ -> None
+
+let encode_pointer layout ~offset ~record_no ~boot_count =
+  let w = Bytebuf.Writer.create () in
+  Bytebuf.Writer.u32 w magic_ptr;
+  Bytebuf.Writer.u32 w offset;
+  Bytebuf.Writer.u64 w record_no;
+  Bytebuf.Writer.u32 w boot_count;
+  let body = Bytebuf.Writer.contents w in
+  Bytebuf.Writer.u32 w (Crc32.bytes body);
+  Bytebuf.Writer.to_sector w ~size:(sector_bytes layout)
+
+let decode_pointer b =
+  match
+    let r = Bytebuf.Reader.of_bytes b in
+    let m = Bytebuf.Reader.u32 r in
+    if m <> magic_ptr then None
+    else begin
+      let offset = Bytebuf.Reader.u32 r in
+      let record_no = Bytebuf.Reader.u64 r in
+      let boot_count = Bytebuf.Reader.u32 r in
+      let body_len = Bytebuf.Reader.pos r in
+      let crc = Bytebuf.Reader.u32 r in
+      if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
+      else Some (offset, record_no, boot_count)
+    end
+  with
+  | v -> v
+  | exception Bytebuf.Decode_error _ -> None
+
+(* Pointer page in sector 0 of the log region, replicated in sector 2,
+   with the mandatory blank between: one three-sector command. *)
+let write_pointer device layout ~offset ~record_no ~boot_count =
+  let sb = sector_bytes layout in
+  let ptr = encode_pointer layout ~offset ~record_no ~boot_count in
+  let buf = Bytes.make (3 * sb) '\000' in
+  Bytes.blit ptr 0 buf 0 sb;
+  Bytes.blit ptr 0 buf (2 * sb) sb;
+  Device.write_run device ~sector:layout.Layout.log_start buf
+
+let read_sector_opt device s =
+  match Device.read device s with
+  | b -> Some b
+  | exception Device.Error _ -> None
+
+let read_pointer device layout =
+  let try_at s =
+    match read_sector_opt device s with
+    | None -> None
+    | Some b -> decode_pointer b
+  in
+  match try_at layout.Layout.log_start with
+  | Some p -> Some p
+  | None -> try_at (layout.Layout.log_start + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+let format device layout =
+  write_pointer device layout ~offset:0 ~record_no:1L ~boot_count:0
+
+let mk_stats () =
+  {
+    records = 0;
+    data_sectors = 0;
+    total_sectors = 0;
+    third_entries = 0;
+    record_sizes = Stats.create ();
+  }
+
+let attach device layout ~boot_count ~next_record_no ~write_off ~on_enter_third =
+  let third = third_sectors layout in
+  let write_off = if write_off >= body_sectors layout then 0 else write_off in
+  write_pointer device layout ~offset:write_off ~record_no:next_record_no ~boot_count;
+  {
+    device;
+    layout;
+    boot_count;
+    on_enter_third;
+    write_off;
+    next_record_no;
+    current_third = min (write_off / third) 2;
+    third_first = [| None; None; None |];
+    stats = mk_stats ();
+  }
+
+let current_third t = t.current_third
+let stats t = t.stats
+let next_record_no t = t.next_record_no
+
+(* After a clean shutdown every page is home; point the next recovery at
+   the (empty) end of the chain so it replays nothing. *)
+let reset_pointer t =
+  write_pointer t.device t.layout ~offset:t.write_off ~record_no:t.next_record_no
+    ~boot_count:t.boot_count
+
+(* Which thirds would appending a record of [record_sectors] enter?
+   Mirrors [append]'s wrap and entry logic, without side effects. *)
+let thirds_entered_by t ~record_sectors =
+  let third = third_sectors t.layout in
+  let start =
+    if t.write_off + record_sectors > body_sectors t.layout then 0 else t.write_off
+  in
+  let first = start / third and last = (start + record_sectors - 1) / third in
+  List.filter
+    (fun j -> j <> t.current_third)
+    (List.init (last - first + 1) (fun i -> first + i))
+
+(* Pointer target: the first record of the oldest third that still holds
+   live records; if no other third does, the record about to be written. *)
+let update_pointer t =
+  let candidates =
+    [ (t.current_third + 1) mod 3; (t.current_third + 2) mod 3; t.current_third ]
+  in
+  let offset, record_no =
+    match List.find_map (fun j -> t.third_first.(j)) candidates with
+    | Some (off, no) -> (off, no)
+    | None -> (t.write_off, t.next_record_no)
+  in
+  write_pointer t.device t.layout ~offset ~record_no ~boot_count:t.boot_count
+
+let enter_third t j =
+  t.stats.third_entries <- t.stats.third_entries + 1;
+  t.on_enter_third j;
+  t.third_first.(j) <- None;
+  t.current_third <- j;
+  update_pointer t
+
+let append t units =
+  if units = [] then invalid_arg "Log.append: empty record";
+  List.iter
+    (fun u ->
+      if Bytes.length u.image <> unit_sectors t.layout u.kind * sector_bytes t.layout
+      then invalid_arg "Log.append: image size mismatch")
+    units;
+  let n = data_sectors_of t.layout units in
+  if n > max_data_sectors_hard t.layout then
+    invalid_arg "Log.append: record exceeds structural cap";
+  let size = record_total_sectors t.layout units in
+  let third = third_sectors t.layout in
+  if size > third then invalid_arg "Log.append: record larger than a third";
+  if t.write_off + size > body_sectors t.layout then t.write_off <- 0;
+  (* Enter every third this record touches that we are not already in. *)
+  let first_t = t.write_off / third and last_t = (t.write_off + size - 1) / third in
+  for j = first_t to last_t do
+    if j <> t.current_third then enter_third t j
+  done;
+  if t.third_first.(first_t) = None then
+    t.third_first.(first_t) <- Some (t.write_off, t.next_record_no);
+  (* Assemble the record in the active layout. *)
+  let sb = sector_bytes t.layout in
+  let header = encode_header t units in
+  let data = Bytes.concat Bytes.empty (List.map (fun u -> u.image) units) in
+  assert (Bytes.length data = n * sb);
+  let crcs = List.init n (fun i -> Crc32.bytes ~pos:(i * sb) ~len:sb data) in
+  let endp = encode_end t.layout ~record_no:t.next_record_no crcs in
+  let buf = Bytes.make (size * sb) '\000' in
+  if track_tolerant t.layout then begin
+    (* primary block at 0, identical copy block one track later *)
+    let d = spt t.layout in
+    let place base =
+      Bytes.blit header 0 buf (base * sb) sb;
+      Bytes.blit data 0 buf ((base + 1) * sb) (n * sb);
+      Bytes.blit endp 0 buf ((base + 1 + n) * sb) sb
+    in
+    place 0;
+    place d
+  end
+  else begin
+    Bytes.blit header 0 buf 0 sb;
+    (* sector 1 stays blank *)
+    Bytes.blit header 0 buf (2 * sb) sb;
+    Bytes.blit data 0 buf (3 * sb) (n * sb);
+    Bytes.blit endp 0 buf ((3 + n) * sb) sb;
+    Bytes.blit data 0 buf ((4 + n) * sb) (n * sb);
+    Bytes.blit endp 0 buf ((4 + (2 * n)) * sb) sb
+  end;
+  Device.write_run t.device ~sector:(body_start t.layout + t.write_off) buf;
+  t.stats.records <- t.stats.records + 1;
+  t.stats.data_sectors <- t.stats.data_sectors + n;
+  t.stats.total_sectors <- t.stats.total_sectors + size;
+  Stats.add t.stats.record_sizes (float_of_int size);
+  t.write_off <- t.write_off + size;
+  t.next_record_no <- Int64.add t.next_record_no 1L;
+  (* Pages must be flushed home before ANY sector of their record can be
+     overwritten; a record may straddle a third boundary, and its start
+     third is re-entered first, so that is the survival horizon. *)
+  first_t
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+type recovery = {
+  replayed_records : int;
+  last_record_no : int64 option;
+  pointer_record_no : int64;
+  next_write_off : int;
+  surviving : (int * int64) list;
+  corrected_sectors : int;
+  images : (unit_kind * bytes * int64) list;
+}
+
+(* Read the record at body offset [off] expecting [expected] as its record
+   number. Returns the decoded units or [None] (chain break / torn). The
+   layout is self-describing: the header carries a flag, and when the
+   primary header is gone the copy is probed at both candidate offsets
+   (+2 classic, +track for the track-tolerant format). *)
+let read_record device layout ~off ~expected ~corrected =
+  let body = body_start layout in
+  if off + 5 > body_sectors layout then None
+  else begin
+    let sector i = body + off + i in
+    let header_at i = Option.bind (read_sector_opt device (sector i)) (decode_header layout) in
+    let header =
+      match header_at 0 with
+      | Some h -> Some h
+      | None -> (
+        (* primary unreadable or garbage: try the copies *)
+        match header_at 2 with
+        | Some h when not h.h_track_tolerant ->
+          incr corrected;
+          Some h
+        | Some _ | None -> (
+          match header_at (spt layout) with
+          | Some h when h.h_track_tolerant ->
+            incr corrected;
+            Some h
+          | Some _ | None -> None))
+    in
+    match header with
+    | None -> None
+    | Some h ->
+      if h.h_record_no <> expected then None
+      else begin
+        let n = h.h_data_sectors in
+        let size = if h.h_track_tolerant then spt layout + n + 2 else (2 * n) + 5 in
+        (* primary/copy offsets of the end page and data sector i *)
+        let end_primary, end_copy, data_primary, data_copy =
+          if h.h_track_tolerant then
+            let d = spt layout in
+            (1 + n, d + 1 + n, (fun i -> 1 + i), fun i -> d + 1 + i)
+          else (3 + n, 4 + (2 * n), (fun i -> 3 + i), fun i -> 4 + n + i)
+        in
+        if off + size > body_sectors layout then None
+        else begin
+          let endp =
+            match Option.bind (read_sector_opt device (sector end_primary)) decode_end with
+            | Some e -> Some e
+            | None -> (
+              match Option.bind (read_sector_opt device (sector end_copy)) decode_end with
+              | Some e ->
+                incr corrected;
+                Some e
+              | None -> None)
+          in
+          match endp with
+          | None -> None (* torn record: the commit never completed *)
+          | Some (end_no, crcs) ->
+            if end_no <> h.h_record_no || Array.length crcs <> n then None
+            else begin
+              (* Collect each data sector from whichever copy checks out. *)
+              let fetch i =
+                let want = crcs.(i) in
+                let try_sector s =
+                  match read_sector_opt device s with
+                  | Some b when Crc32.bytes b = want -> Some b
+                  | Some _ | None -> None
+                in
+                match try_sector (sector (data_primary i)) with
+                | Some b -> Some b
+                | None ->
+                  (match try_sector (sector (data_copy i)) with
+                  | Some b ->
+                    incr corrected;
+                    Some b
+                  | None -> None)
+              in
+              let rec collect i acc =
+                if i = n then Some (List.rev acc)
+                else match fetch i with None -> None | Some b -> collect (i + 1) (b :: acc)
+              in
+              match collect 0 [] with
+              | None -> None (* both copies of a data sector lost *)
+              | Some sectors ->
+                let sectors = Array.of_list sectors in
+                let units, _ =
+                  List.fold_left
+                    (fun (acc, i) (kind, nsec) ->
+                      let image =
+                        Bytes.concat Bytes.empty
+                          (List.init nsec (fun k -> sectors.(i + k)))
+                      in
+                      ({ kind; image } :: acc, i + nsec))
+                    ([], 0) h.h_units
+                in
+                Some (List.rev units, size)
+            end
+        end
+      end
+  end
+
+let recover device layout =
+  let corrected = ref 0 in
+  match read_pointer device layout with
+  | None ->
+    (* Both pointer copies gone: nothing can be replayed. *)
+    {
+      replayed_records = 0;
+      last_record_no = None;
+      pointer_record_no = 1L;
+      next_write_off = 0;
+      surviving = [];
+      corrected_sectors = 0;
+      images = [];
+    }
+  | Some (ptr_off, ptr_no, _boot) ->
+    let images : (unit_kind, bytes * int64) Hashtbl.t = Hashtbl.create 64 in
+    let surviving = ref [] in
+    let replayed = ref 0 in
+    let last_no = ref None in
+    let rec scan off expected wrapped visited =
+      if visited > body_sectors layout then off
+      else
+        match read_record device layout ~off ~expected ~corrected with
+        | Some (units, size) ->
+          List.iter (fun u -> Hashtbl.replace images u.kind (u.image, expected)) units;
+          surviving := (off, expected) :: !surviving;
+          incr replayed;
+          last_no := Some expected;
+          scan (off + size) (Int64.add expected 1L) wrapped (visited + size)
+        | None ->
+          (* The writer may have wrapped to offset 0 mid-chain. *)
+          if (not wrapped) && off <> 0 then
+            match read_record device layout ~off:0 ~expected ~corrected with
+            | Some _ -> scan 0 expected true visited
+            | None -> off
+          else off
+    in
+    let next_off = scan ptr_off ptr_no false 0 in
+    {
+      replayed_records = !replayed;
+      last_record_no = !last_no;
+      pointer_record_no = ptr_no;
+      next_write_off = next_off;
+      surviving = List.rev !surviving;
+      corrected_sectors = !corrected;
+      images = Hashtbl.fold (fun k (img, no) acc -> (k, img, no) :: acc) images [];
+    }

@@ -1,0 +1,41 @@
+(** FSD tuning parameters.
+
+    Layout-affecting fields ([fnt_page_sectors], [fnt_pages],
+    [log_sectors]) are stamped into the boot page at format time and read
+    back on boot; the rest are runtime knobs. *)
+
+type t = {
+  commit_interval_us : int;
+      (** group-commit force period; the paper forces twice a second *)
+  fnt_page_sectors : int;  (** sectors per name-table page *)
+  fnt_pages : int;  (** name-table page slots (per copy) *)
+  log_sectors : int;  (** log region size, incl. 3 pointer sectors *)
+  cache_pages : int;  (** FNT cache capacity (unpinned pages) *)
+  max_record_data_sectors : int;
+      (** cap on data sectors per log record; larger commits are split *)
+  small_file_bytes : int;  (** files at most this big use the small area *)
+  max_runs_per_file : int;
+  default_keep : int;  (** versions kept per name; 0 = unlimited *)
+  log_vam : bool;
+      (** the extension §5.3 weighs and rejects: also log VAM changes, so
+          recovery can skip the name-table scan ("would greatly decrease
+          worst case crash recovery time from about twenty five seconds
+          to about two seconds"). Off by default, as in the paper. *)
+  track_tolerant_log : bool;
+      (** §3's "more stringent requirements (e.g., loss of a whole track)
+          can be met within the framework": log records place every
+          element's copy a full track after its primary, so losing any
+          [sectors_per_track] consecutive sectors is survivable. Costs
+          more log space for small records; caps records at
+          [sectors_per_track - 2] data sectors. Off by default. *)
+  cpu_op_us : int;  (** CPU charge per metadata operation *)
+  cpu_page_us : int;  (** CPU charge per page moved or scanned *)
+}
+
+val default : t
+(** Sized for {!Cedar_disk.Geometry.trident_t300}. *)
+
+val for_geometry : Cedar_disk.Geometry.t -> t
+(** [default] rescaled so the metadata regions fit small test volumes. *)
+
+val validate : Cedar_disk.Geometry.t -> t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/model/script.ml: Cedar_disk Format Geometry List

@@ -1,0 +1,1 @@
+lib/model/script.mli: Cedar_disk Format

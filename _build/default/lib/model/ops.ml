@@ -1,0 +1,149 @@
+open Script
+
+type config = {
+  fnt_page_sectors : int;
+  fnt_leaf_hit : float;
+  file_center_cyls : int;
+  force_pages : int;
+  cpu_op_us : int;
+  cpu_page_us : int;
+}
+
+let default =
+  {
+    fnt_page_sectors = 4;
+    fnt_leaf_hit = 0.9;
+    file_center_cyls = 400;
+    force_pages = 1;
+    cpu_op_us = 8_000;
+    cpu_page_us = 150;
+  }
+
+(* The validation protocol parks the arm at the central cylinders (the
+   FNT/log region) between operations, so a file access starts with a
+   seek of [file_center_cyls] and name-table traffic seeks back. *)
+let to_file c = Short_seek c.file_center_cyls
+let to_center c = Short_seek c.file_center_cyls
+
+(* ------------------------------------------------------------------ *)
+(* CFS                                                                 *)
+
+(* The paper's worked example, step for step against our implementation:
+   1 verify the three candidate pages' labels;
+   2 write the header labels -- the two sectors just passed the head;
+   3 write the data label -- the head is phase-aligned after (2);
+   4 write the header contents -- those sectors passed again;
+   5 write the data page -- aligned again;
+   6 write the name-table leaf (in place, at the center; leaf cached);
+   7 seek back and rewrite the header with the final byte count. *)
+let cfs_small_create c =
+  [
+    to_file c;
+    Latency;
+    Transfer 3;
+    Rev_minus_transfer 3;
+    Transfer 2;
+    Transfer 1;
+    Rev_minus_transfer 3;
+    Transfer 2;
+    Transfer 1;
+    to_center c;
+    Latency;
+    Transfer c.fnt_page_sectors;
+    to_file c;
+    Latency;
+    Transfer 2;
+    Cpu (c.cpu_op_us + c.cpu_page_us);
+  ]
+
+(* A large create writes the data in one long verified transfer; the
+   label verification and claim each scan the same [pages]+2 sectors. *)
+let cfs_large_create c ~pages =
+  [
+    to_file c;
+    Latency;
+    Long_transfer (pages + 2);
+    Rev_minus_transfer 2;
+    Transfer 2;
+    Long_transfer pages;
+    Rev_minus_transfer 2;
+    Transfer 2;
+    Long_transfer pages;
+    to_center c;
+    Latency;
+    Transfer c.fnt_page_sectors;
+    to_file c;
+    Latency;
+    Transfer 2;
+    Cpu (c.cpu_op_us + (pages * c.cpu_page_us));
+  ]
+
+(* Name-table leaf cached; the header read remains. *)
+let cfs_open c = [ to_file c; Latency; Transfer 2; Cpu c.cpu_op_us ]
+
+let cfs_read_page c = [ to_file c; Latency; Transfer 1; Cpu c.cpu_op_us ]
+
+(* Free the header-pair labels, free the data label (aligned), then
+   update the name table; the header itself is in the open cache. *)
+let cfs_small_delete c =
+  [
+    to_file c;
+    Latency;
+    Transfer 2;
+    Transfer 1;
+    to_center c;
+    Latency;
+    Transfer c.fnt_page_sectors;
+    Cpu (c.cpu_op_us + (c.cpu_page_us / 2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* FSD                                                                 *)
+
+(* One combined leader+data write; everything else is in memory. The
+   group-commit force is shared across the window and modelled by
+   [fsd_log_force]. *)
+let fsd_small_create c =
+  [ to_file c; Latency; Transfer 2; Cpu (c.cpu_op_us + (2 * c.cpu_page_us)) ]
+
+(* One synchronous record: header, blank, header copy, the logged pages,
+   end, page copies, end copy (5.3). Declared early so long operations
+   can account for the commits that fire while they run. *)
+let fsd_log_force c =
+  let data = c.force_pages * c.fnt_page_sectors in
+  [ to_center c; Latency; Transfer ((2 * data) + 5) ]
+
+(* One combined leader+data transfer, however long. A 1000-page write
+   outlasts the half-second commit interval, so one group commit fires
+   within the operation. *)
+let fsd_large_create c ~pages =
+  [ to_file c; Latency; Long_transfer (pages + 1); Cpu (c.cpu_op_us + (pages * c.cpu_page_us)) ]
+  @ fsd_log_force c
+
+let fsd_open c = [ Cpu c.cpu_op_us ]
+
+(* First data access: the leader is the physically preceding sector, so
+   verification rides along for one extra sector of transfer (5.7). *)
+let fsd_open_read c =
+  [ to_file c; Latency; Transfer 2; Cpu (c.cpu_op_us + c.cpu_page_us) ]
+
+let fsd_small_delete c = [ Cpu (c.cpu_op_us + (c.cpu_page_us / 2)) ]
+
+let fsd_read_page c =
+  [ to_file c; Latency; Transfer 1; Cpu (c.cpu_op_us + c.cpu_page_us) ]
+
+let all c =
+  [
+    ("cfs_small_create", cfs_small_create c);
+    ("cfs_large_create(1000)", cfs_large_create c ~pages:1000);
+    ("fsd_large_create(1000)", fsd_large_create c ~pages:1000);
+    ("cfs_open", cfs_open c);
+    ("cfs_small_delete", cfs_small_delete c);
+    ("cfs_read_page", cfs_read_page c);
+    ("fsd_small_create", fsd_small_create c);
+    ("fsd_open", fsd_open c);
+    ("fsd_open_read", fsd_open_read c);
+    ("fsd_small_delete", fsd_small_delete c);
+    ("fsd_log_force", fsd_log_force c);
+    ("fsd_read_page", fsd_read_page c);
+  ]

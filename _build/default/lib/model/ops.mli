@@ -1,0 +1,64 @@
+(** Predefined operation scripts for CFS and FSD, in the style of the
+    paper's section 6.
+
+    Each script is derived by reading the corresponding implementation
+    and writing down where it does I/O, incorporating known locality —
+    the name table and log live at the central cylinders, a
+    freshly-verified sector has just passed the head, the leader page
+    physically precedes the first data page. Bench R5 measures the same
+    operations on the simulator with the arm parked at the central
+    cylinders between operations, and checks the predictions against the
+    measurements (the paper reports agreement within ~5 %). *)
+
+type config = {
+  fnt_page_sectors : int;  (** sectors per name-table page *)
+  fnt_leaf_hit : float;  (** probability the leaf is in cache *)
+  file_center_cyls : int;
+      (** seek distance between the active file area and the central
+          metadata region *)
+  force_pages : int;  (** name-table pages logged by a typical force *)
+  cpu_op_us : int;
+  cpu_page_us : int;
+}
+
+val default : config
+
+(** {1 CFS} *)
+
+val cfs_small_create : config -> Script.t
+(** The section 6 worked example: verify three free pages, write header
+    labels, write the data label, write the header, update the name
+    table, write the data, rewrite the header. *)
+
+val cfs_large_create : config -> pages:int -> Script.t
+val cfs_open : config -> Script.t
+(** Name-table lookup (cached) then the header read. *)
+
+val cfs_small_delete : config -> Script.t
+val cfs_read_page : config -> Script.t
+
+(** {1 FSD} *)
+
+val fsd_small_create : config -> Script.t
+(** One combined leader+data write. The group-commit force is shared by
+    all operations of a half-second window and is modelled separately as
+    {!fsd_log_force}. *)
+
+val fsd_large_create : config -> pages:int -> Script.t
+(** One combined leader+data transfer, however long. *)
+
+val fsd_open : config -> Script.t
+(** No I/O at all on a cache hit. *)
+
+val fsd_open_read : config -> Script.t
+(** Open plus first data access, the leader verified by piggybacking. *)
+
+val fsd_small_delete : config -> Script.t
+val fsd_read_page : config -> Script.t
+
+val fsd_log_force : config -> Script.t
+(** The synchronous group-commit write: a seek to the central log, the
+    rotational latency, then the record (5 overhead sectors plus twice
+    the logged pages). *)
+
+val all : config -> (string * Script.t) list

@@ -1,0 +1,25 @@
+type row = {
+  name : string;
+  predicted_ms : float;
+  measured_ms : float;
+  error_pct : float;
+}
+
+let row ~name ~predicted_ms ~measured_ms =
+  let error_pct =
+    if measured_ms = 0.0 then 0.0
+    else (predicted_ms -. measured_ms) /. measured_ms *. 100.0
+  in
+  { name; predicted_ms; measured_ms; error_pct }
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-24s %12s %12s %8s@." "operation" "model (ms)"
+    "measured" "error";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-24s %12.2f %12.2f %+7.1f%%@." r.name r.predicted_ms
+        r.measured_ms r.error_pct)
+    rows
+
+let max_abs_error_pct rows =
+  List.fold_left (fun acc r -> max acc (abs_float r.error_pct)) 0.0 rows

@@ -1,0 +1,14 @@
+(** Model-vs-measurement comparison (the paper's "within five percent"). *)
+
+type row = {
+  name : string;
+  predicted_ms : float;
+  measured_ms : float;
+  error_pct : float;  (** signed, (predicted - measured) / measured * 100 *)
+}
+
+val row : name:string -> predicted_ms:float -> measured_ms:float -> row
+
+val pp_table : Format.formatter -> row list -> unit
+
+val max_abs_error_pct : row list -> float

@@ -1,0 +1,1 @@
+lib/unixfs/dirblock.ml: Bytebuf Bytes Cedar_util List String

@@ -1,0 +1,1 @@
+lib/unixfs/dirblock.mli:

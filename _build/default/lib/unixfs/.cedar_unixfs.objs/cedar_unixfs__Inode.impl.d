@@ -1,0 +1,1 @@
+lib/unixfs/inode.ml: Array Bytebuf Bytes Cedar_util Crc32

@@ -1,0 +1,1 @@
+lib/unixfs/inode.mli:

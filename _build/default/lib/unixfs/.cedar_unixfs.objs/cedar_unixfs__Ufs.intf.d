@@ -1,0 +1,1 @@
+lib/unixfs/ufs.mli: Cedar_disk Cedar_fsbase Ufs_params

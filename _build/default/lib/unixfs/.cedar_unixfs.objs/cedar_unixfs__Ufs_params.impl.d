@@ -1,0 +1,1 @@
+lib/unixfs/ufs_params.ml: Cedar_disk Geometry

@@ -1,0 +1,1 @@
+lib/unixfs/ufs_params.mli: Cedar_disk

@@ -1,0 +1,36 @@
+open Cedar_util
+
+let entry_bytes name = 4 + 1 + String.length name
+
+let fits ~block_bytes entries =
+  List.fold_left (fun acc (_, n) -> acc + entry_bytes n) 4 entries <= block_bytes
+
+let encode ~block_bytes entries =
+  if not (fits ~block_bytes entries) then None
+  else begin
+    let w = Bytebuf.Writer.create ~initial:block_bytes () in
+    List.iter
+      (fun (inum, name) ->
+        if inum <= 0 then invalid_arg "Dirblock.encode: bad inum";
+        if String.length name > 255 || String.length name = 0 then
+          invalid_arg "Dirblock.encode: bad name";
+        Bytebuf.Writer.u32 w inum;
+        Bytebuf.Writer.u8 w (String.length name);
+        Bytebuf.Writer.raw w (Bytes.of_string name))
+      entries;
+    Bytebuf.Writer.u32 w 0;
+    Some (Bytebuf.Writer.to_sector w ~size:block_bytes)
+  end
+
+let entries block =
+  let r = Bytebuf.Reader.of_bytes block in
+  let rec go acc =
+    let inum = Bytebuf.Reader.u32 r in
+    if inum = 0 then List.rev acc
+    else begin
+      let len = Bytebuf.Reader.u8 r in
+      let name = Bytes.to_string (Bytebuf.Reader.raw r len) in
+      go ((inum, name) :: acc)
+    end
+  in
+  go []

@@ -1,0 +1,69 @@
+open Cedar_util
+
+type kind = Reg | Dir
+
+type t = {
+  kind : kind;
+  mutable nlink : int;
+  mutable size : int;
+  mutable mtime : int;
+  direct : int array;
+  mutable indirect : int;
+}
+
+let n_direct = 10
+let bytes_per_inode = 128
+let magic = 0x494e (* "IN", u16 *)
+
+let empty kind ~mtime =
+  { kind; nlink = 1; size = 0; mtime; direct = Array.make n_direct 0; indirect = 0 }
+
+let encode t =
+  let w = Bytebuf.Writer.create ~initial:bytes_per_inode () in
+  Bytebuf.Writer.u16 w magic;
+  Bytebuf.Writer.u8 w (match t.kind with Reg -> 1 | Dir -> 2);
+  Bytebuf.Writer.u16 w t.nlink;
+  Bytebuf.Writer.i64 w t.size;
+  Bytebuf.Writer.i64 w t.mtime;
+  Array.iter (Bytebuf.Writer.u32 w) t.direct;
+  Bytebuf.Writer.u32 w t.indirect;
+  let body = Bytebuf.Writer.contents w in
+  Bytebuf.Writer.u32 w (Crc32.bytes body);
+  let out = Bytes.make bytes_per_inode '\000' in
+  let b = Bytebuf.Writer.contents w in
+  Bytes.blit b 0 out 0 (Bytes.length b);
+  out
+
+let is_free_slot b =
+  let free = ref true in
+  Bytes.iter (fun c -> if c <> '\000' then free := false) b;
+  !free
+
+let decode b =
+  if Bytes.length b <> bytes_per_inode then None
+  else if is_free_slot b then None
+  else
+    match
+      let r = Bytebuf.Reader.of_bytes b in
+      let m = Bytebuf.Reader.u16 r in
+      if m <> magic then None
+      else begin
+        let kind =
+          match Bytebuf.Reader.u8 r with
+          | 1 -> Reg
+          | 2 -> Dir
+          | _ -> raise (Bytebuf.Decode_error "bad inode kind")
+        in
+        let nlink = Bytebuf.Reader.u16 r in
+        let size = Bytebuf.Reader.i64 r in
+        let mtime = Bytebuf.Reader.i64 r in
+        let direct = Array.init n_direct (fun _ -> Bytebuf.Reader.u32 r) in
+        let indirect = Bytebuf.Reader.u32 r in
+        let body_len = Bytebuf.Reader.pos r in
+        let crc = Bytebuf.Reader.u32 r in
+        if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
+        else Some { kind; nlink; size; mtime; direct; indirect }
+      end
+    with
+    | v -> v
+    | exception Bytebuf.Decode_error _ -> None

@@ -1,0 +1,27 @@
+(** On-disk inodes: 128 bytes each, 32 per 4 KB block. Ten direct block
+    pointers plus one single-indirect, like the early FFS. Pointer 0
+    means "no block" (block 0 holds the boot block, never file data). *)
+
+type kind = Reg | Dir
+
+type t = {
+  kind : kind;
+  mutable nlink : int;
+  mutable size : int;  (** bytes *)
+  mutable mtime : int;
+  direct : int array;  (** length {!n_direct} *)
+  mutable indirect : int;  (** block of pointers, or 0 *)
+}
+
+val n_direct : int
+val bytes_per_inode : int
+
+val empty : kind -> mtime:int -> t
+
+val encode : t -> bytes
+(** Exactly {!bytes_per_inode} long. *)
+
+val decode : bytes -> t option
+(** [None] for a free slot (all zero) or a damaged image. *)
+
+val is_free_slot : bytes -> bool

@@ -1,0 +1,30 @@
+type t = {
+  block_sectors : int;
+  cylinders_per_group : int;
+  inode_ratio_blocks : int;
+  rotdelay_blocks : int;
+  cache_blocks : int;
+  cpu_op_us : int;
+  cpu_block_read_us : int;
+  cpu_block_write_us : int;
+}
+
+let default =
+  {
+    block_sectors = 8;
+    cylinders_per_group = 16;
+    inode_ratio_blocks = 1; (* newfs defaulted to ~1 inode per 2 KB *)
+    rotdelay_blocks = 0;
+    cache_blocks = 64;
+    cpu_op_us = 2_500;
+    cpu_block_read_us = 3_800;
+    cpu_block_write_us = 6_600;
+  }
+
+let bsd42 = { default with rotdelay_blocks = 1 }
+
+let for_geometry g =
+  let open Cedar_disk in
+  if Geometry.total_sectors g >= Geometry.total_sectors Geometry.trident_t300 / 2
+  then default
+  else { default with cylinders_per_group = 8; cache_blocks = 32 }

@@ -1,0 +1,28 @@
+(** Parameters of the simplified BSD fast file system used as the paper's
+    Tables 4/5 comparison point.
+
+    [rotdelay_blocks = 1] reproduces 4.2-style rotationally-spaced block
+    allocation (about half the raw bandwidth on sequential transfers);
+    [rotdelay_blocks = 0] is 4.3-style contiguous allocation. Data-path
+    CPU ([cpu_block_us]) is modelled as overlapping the rotational gaps,
+    which is how a VAX could burn 95 % CPU while still moving 47 % of the
+    disk's bandwidth (Table 5). *)
+
+type t = {
+  block_sectors : int;  (** 8 x 512 = the 4 KB FFS block *)
+  cylinders_per_group : int;
+  inode_ratio_blocks : int;  (** one inode per this many data blocks *)
+  rotdelay_blocks : int;
+  cache_blocks : int;
+  cpu_op_us : int;
+  cpu_block_read_us : int;
+  cpu_block_write_us : int;
+}
+
+val default : t
+(** 4.3-style (clustered allocation). *)
+
+val bsd42 : t
+(** 4.2-style (rotational spacing). *)
+
+val for_geometry : Cedar_disk.Geometry.t -> t

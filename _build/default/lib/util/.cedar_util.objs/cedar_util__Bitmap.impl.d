@@ -1,0 +1,1 @@
+lib/util/bitmap.ml: Array Bytes Char Lazy Printf

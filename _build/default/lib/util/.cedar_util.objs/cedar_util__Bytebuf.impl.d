@@ -1,0 +1,1 @@
+lib/util/bytebuf.ml: Buffer Bytes Char Format Int32 Int64 List Printf String

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3 polynomial), used as the page and log-record
+    checksum. The file system treats a checksum mismatch as a damaged
+    sector. *)
+
+val bytes : ?pos:int -> ?len:int -> bytes -> int
+(** [bytes b] is the CRC-32 of [b] (or the given slice) as a non-negative
+    int that fits in 32 bits. *)
+
+val string : string -> int

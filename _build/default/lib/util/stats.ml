@@ -1,0 +1,67 @@
+type t = {
+  mutable values : float list;
+  mutable n : int;
+  mutable total : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sorted : float array option; (* cache, invalidated by add *)
+}
+
+let create () =
+  { values = []; n = 0; total = 0.0; min = infinity; max = neg_infinity; sorted = None }
+
+let add t v =
+  t.values <- v :: t.values;
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v;
+  t.sorted <- None
+
+let n t = t.n
+let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
+let min t = t.min
+let max t = t.max
+let total t = t.total
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.values in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile";
+  let a = sorted t in
+  let idx = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
+  a.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
+      t.n (mean t) t.min (percentile t 0.5) (percentile t 0.95) t.max
+
+module Histogram = struct
+  type h = { width : int; counts : (int, int) Hashtbl.t }
+
+  let create ~bucket_width =
+    if bucket_width <= 0 then invalid_arg "Histogram.create";
+    { width = bucket_width; counts = Hashtbl.create 16 }
+
+  let add h v =
+    let b = if v >= 0 then v / h.width else (v - h.width + 1) / h.width in
+    Hashtbl.replace h.counts b (1 + Option.value ~default:0 (Hashtbl.find_opt h.counts b))
+
+  let buckets h =
+    Hashtbl.fold (fun b c acc -> (b * h.width, c) :: acc) h.counts []
+    |> List.sort compare
+
+  let pp ppf h =
+    List.iter (fun (lo, c) -> Format.fprintf ppf "[%d,%d): %d@." lo (lo + h.width) c)
+      (buckets h)
+end

@@ -1,0 +1,29 @@
+(** Running statistics and simple histograms for the benchmark harness. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val n : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,1]; nearest-rank. Raises
+    [Invalid_argument] on an empty series. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Fixed-bucket histogram over integers. *)
+module Histogram : sig
+  type h
+
+  val create : bucket_width:int -> h
+  val add : h -> int -> unit
+  val buckets : h -> (int * int) list
+  (** [(lower_bound, count)] for each non-empty bucket, ascending. *)
+
+  val pp : Format.formatter -> h -> unit
+end

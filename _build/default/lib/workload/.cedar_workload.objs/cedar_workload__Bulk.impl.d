@@ -1,0 +1,1 @@
+lib/workload/bulk.ml: Bytes Cedar_fsbase Char Fs_ops List Measure Printf

@@ -1,0 +1,1 @@
+lib/workload/bulk.mli: Cedar_fsbase Measure

@@ -1,0 +1,1 @@
+lib/workload/makedo.ml: Bytes Cedar_fsbase Cedar_util Char Fs_ops Measure Printf Rng

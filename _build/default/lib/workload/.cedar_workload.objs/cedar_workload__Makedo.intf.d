@@ -1,0 +1,1 @@
+lib/workload/makedo.mli: Cedar_fsbase Measure

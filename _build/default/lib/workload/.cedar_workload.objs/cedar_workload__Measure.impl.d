@@ -1,0 +1,1 @@
+lib/workload/measure.ml: Cedar_disk Cedar_fsbase Cedar_util Device Format Fs_ops Geometry Iostats Simclock

@@ -1,0 +1,1 @@
+lib/workload/measure.mli: Cedar_disk Cedar_fsbase Format

@@ -1,0 +1,1 @@
+lib/workload/remote.ml: Bytes Cedar_util Char Hashtbl List Option Rng Sizes

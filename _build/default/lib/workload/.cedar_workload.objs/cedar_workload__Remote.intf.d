@@ -1,0 +1,1 @@
+lib/workload/remote.mli: Cedar_util

@@ -1,0 +1,14 @@
+(** The simple bulk operations of Tables 3 and 4: 100 small creates, list
+    100 files, read 100 small files — all in one directory, as the paper
+    benchmarks them. *)
+
+val create_many :
+  Cedar_fsbase.Fs_ops.t -> dir:string -> n:int -> bytes_each:int -> Measure.sample
+
+val list_dir : Cedar_fsbase.Fs_ops.t -> dir:string -> expect:int -> Measure.sample
+
+val read_many : Cedar_fsbase.Fs_ops.t -> dir:string -> n:int -> Measure.sample
+
+val delete_many : Cedar_fsbase.Fs_ops.t -> dir:string -> n:int -> Measure.sample
+
+val file_name : dir:string -> int -> string

@@ -1,0 +1,55 @@
+open Cedar_util
+open Cedar_fsbase
+
+type spec = {
+  modules : int;
+  deps_per_module : int;
+  source_bytes : int;
+  seed : int;
+}
+
+let default = { modules = 24; deps_per_module = 2; source_bytes = 6_000; seed = 1 }
+
+let source_name i = Printf.sprintf "src/M%03d.mesa" i
+let object_name i = Printf.sprintf "bin/M%03d.bcd" i
+let temp_name i = Printf.sprintf "tmp/M%03d.tmp" i
+let df_name = "build/program.df"
+
+let content rng n = Bytes.init n (fun i -> Char.chr ((i + Rng.int rng 251) mod 251))
+
+let prepare (ops : Fs_ops.t) spec =
+  let rng = Rng.create spec.seed in
+  for i = 0 to spec.modules - 1 do
+    let size = max 256 (spec.source_bytes / 2 + Rng.int rng spec.source_bytes) in
+    ignore (ops.Fs_ops.create ~name:(source_name i) ~data:(content rng size))
+  done;
+  ignore (ops.Fs_ops.create ~name:df_name ~data:(content rng 2_000));
+  ops.Fs_ops.force ()
+
+let build (ops : Fs_ops.t) spec =
+  let rng = Rng.create (spec.seed + 17) in
+  let (), sample =
+    Measure.run ops (fun () ->
+        for i = 0 to spec.modules - 1 do
+          (* read the module source *)
+          let src = ops.Fs_ops.read_all ~name:(source_name i) in
+          (* read the interfaces it depends on *)
+          for d = 1 to spec.deps_per_module do
+            let dep = (i + d) mod spec.modules in
+            ignore (ops.Fs_ops.open_stat ~name:(source_name dep));
+            ignore (ops.Fs_ops.read_page ~name:(source_name dep) ~page:0)
+          done;
+          (* compiler temp: created, used, deleted *)
+          ignore (ops.Fs_ops.create ~name:(temp_name i) ~data:(content rng 1_500));
+          ignore (ops.Fs_ops.read_page ~name:(temp_name i) ~page:0);
+          ops.Fs_ops.delete ~name:(temp_name i);
+          (* derived object, roughly half the source size *)
+          let obj_size = max 512 (Bytes.length src / 2) in
+          ignore (ops.Fs_ops.create ~name:(object_name i) ~data:(content rng obj_size))
+        done;
+        (* rewrite the build description *)
+        ignore (ops.Fs_ops.create ~name:df_name ~data:(content rng 2_200));
+        ignore (ops.Fs_ops.list ~prefix:"bin/");
+        ops.Fs_ops.force ())
+  in
+  sample

@@ -1,0 +1,21 @@
+open Cedar_util
+
+type t = {
+  name : string;
+  files : (string, bytes) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let create ~name ~seed = { name; files = Hashtbl.create 64; rng = Rng.create seed }
+let name t = t.name
+let publish t ~path data = Hashtbl.replace t.files path (Bytes.copy data)
+
+let publish_random t ~path rng =
+  let size = Sizes.sample rng in
+  let data = Bytes.init size (fun i -> Char.chr ((i * 31) mod 251)) in
+  ignore t.rng;
+  publish t ~path data;
+  data
+
+let fetch t ~path = Option.map Bytes.copy (Hashtbl.find_opt t.files path)
+let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t.files [] |> List.sort compare

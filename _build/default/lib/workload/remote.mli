@@ -1,0 +1,19 @@
+(** A fake remote file server.
+
+    Cedar workstations cache immutable copies of remote files locally;
+    most local files are such cached copies whose size is known when
+    fetched and never changes (§5.6). This module supplies the remote
+    side so examples and benchmarks can exercise the cached-entry code
+    paths (import, last-used-time updates). *)
+
+type t
+
+val create : name:string -> seed:int -> t
+val name : t -> string
+
+val publish : t -> path:string -> bytes -> unit
+val publish_random : t -> path:string -> Cedar_util.Rng.t -> bytes
+(** Make up content with a realistic size; returns it. *)
+
+val fetch : t -> path:string -> bytes option
+val paths : t -> string list

@@ -1,0 +1,25 @@
+open Cedar_util
+
+let small_cutoff = 4_000
+
+(* Half the files are small (uniform up to the cutoff, mean ~2 KB); the
+   rest are spread so that the small half holds ~8 % of the bytes: the
+   large half then needs a ~23 KB mean. A two-tier mix of medium files
+   and a tail of big ones gives that mean with a plausible shape. *)
+let sample rng =
+  if Rng.chance rng 0.5 then max 1 (Rng.int rng small_cutoff)
+  else if Rng.chance rng 0.8 then Rng.int_in rng ~lo:small_cutoff ~hi:24_000
+  else Rng.int_in rng ~lo:24_000 ~hi:90_000
+
+let check_distribution rng ~samples =
+  let small_n = ref 0 and small_b = ref 0 and total_b = ref 0 in
+  for _ = 1 to samples do
+    let s = sample rng in
+    total_b := !total_b + s;
+    if s < small_cutoff then begin
+      incr small_n;
+      small_b := !small_b + s
+    end
+  done;
+  ( float_of_int !small_n /. float_of_int samples,
+    float_of_int !small_b /. float_of_int !total_b )

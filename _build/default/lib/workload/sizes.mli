@@ -1,0 +1,9 @@
+(** File-size distribution matching §5.6's measurement: about half of all
+    files are under 4,000 bytes yet use only ~8 % of the sectors. *)
+
+val sample : Cedar_util.Rng.t -> int
+(** One file size in bytes; never zero. *)
+
+val check_distribution : Cedar_util.Rng.t -> samples:int -> float * float
+(** [(small_file_fraction, small_byte_fraction)] over a sample run — used
+    by tests to pin the 50 %/8 % shape. *)

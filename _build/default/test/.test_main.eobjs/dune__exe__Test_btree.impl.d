@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Bytes Cedar_btree Hashtbl List Map Printf QCheck QCheck_alcotest String Test

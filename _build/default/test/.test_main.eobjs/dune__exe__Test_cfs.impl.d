@@ -1,0 +1,1 @@
+test/test_cfs.ml: Alcotest Bytes Cedar_cfs Cedar_disk Cedar_fsbase Cedar_util Cfs Cfs_layout Char Device Fs_error Fs_ops Geometry Iostats Label List Option Printf Simclock

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Cedar_disk Cedar_util Char Device Filename Geometry Iostats Label List Rng Simclock String Sys

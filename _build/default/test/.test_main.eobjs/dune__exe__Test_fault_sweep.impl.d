@@ -1,0 +1,1 @@
+test/test_fault_sweep.ml: Alcotest Bytes Cedar_disk Cedar_fsd Cedar_util Char Device Fsd Geometry Iostats Layout List Log Params Printf Rng Simclock

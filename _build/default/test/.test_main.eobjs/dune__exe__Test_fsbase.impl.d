@@ -1,0 +1,1 @@
+test/test_fsbase.ml: Alcotest Cedar_fsbase Cedar_util Entry Fname Gen List QCheck QCheck_alcotest Result Run_table String

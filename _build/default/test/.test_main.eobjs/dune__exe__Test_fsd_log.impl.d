@@ -1,0 +1,1 @@
+test/test_fsd_log.ml: Alcotest Bytes Cedar_disk Cedar_fsd Cedar_util Char Device Geometry Layout List Log Params Printf Simclock

@@ -1,0 +1,1 @@
+test/test_fsd_vamlog.ml: Alcotest Bytes Cedar_disk Cedar_fsbase Cedar_fsd Cedar_util Char Device Fs_error Fsd Geometry Layout Log Params Printf QCheck QCheck_alcotest Rng Simclock

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Cedar_disk Cedar_model Float Geometry List Ops Script Validate

@@ -1,0 +1,1 @@
+test/test_negative.ml: Alcotest Bitmap Bytebuf Bytes Cedar_disk Cedar_fsbase Cedar_fsd Cedar_util Device Fname Fs_error Fsd Geometry Layout Log Lru Params Printf Rng Run_table Simclock String

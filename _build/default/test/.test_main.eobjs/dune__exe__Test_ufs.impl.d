@@ -1,0 +1,1 @@
+test/test_ufs.ml: Alcotest Bytes Cedar_disk Cedar_fsbase Cedar_unixfs Cedar_util Char Device Fs_ops Geometry Int64 Iostats List Printf Rng Simclock Ufs Ufs_params

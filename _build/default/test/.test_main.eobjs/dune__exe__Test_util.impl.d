@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitmap Bytebuf Bytes Cedar_util Char Crc32 Hashtbl List Lru QCheck QCheck_alcotest Rng Simclock Stats

@@ -1,0 +1,383 @@
+(* Unit tests for FSD's supporting modules: Params, Layout, Vam, Alloc,
+   Leader, Boot_page, Fnt_store. *)
+
+open Cedar_util
+open Cedar_disk
+open Cedar_fsbase
+open Cedar_fsd
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let geom = Geometry.small_test
+let params () = Params.for_geometry geom
+let layout () = Layout.compute geom (params ())
+
+let mk_device () = Device.create ~clock:(Simclock.create ()) geom
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+
+let test_params_default_valid () =
+  check bool "t300 default" true
+    (Params.validate Geometry.trident_t300 Params.default = Ok ());
+  check bool "small scaled" true (Params.validate geom (params ()) = Ok ());
+  check bool "tiny scaled" true
+    (Params.validate Geometry.tiny_test (Params.for_geometry Geometry.tiny_test) = Ok ())
+
+let test_params_rejects_tiny_log () =
+  let p = { (params ()) with Params.log_sectors = 10 } in
+  check bool "log too small" true (Result.is_error (Params.validate geom p))
+
+let test_params_rejects_huge_metadata () =
+  let p = { (params ()) with Params.fnt_pages = 100_000 } in
+  check bool "metadata too big" true (Result.is_error (Params.validate geom p))
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+
+let test_layout_regions_disjoint () =
+  let l = layout () in
+  let total = Geometry.total_sectors geom in
+  (* Every sector belongs to exactly one region. *)
+  let tag s =
+    let in_range lo len = s >= lo && s < lo + len in
+    let tags =
+      [
+        ("boot", s <= 2);
+        ("vam", in_range l.Layout.vam_start l.Layout.vam_sectors);
+        ("small", s >= l.Layout.small_lo && s < l.Layout.small_hi);
+        ("fntA", in_range l.Layout.fnt_a_start l.Layout.fnt_sectors);
+        ("log", in_range l.Layout.log_start l.Layout.log_sectors);
+        ("fntB", in_range l.Layout.fnt_b_start l.Layout.fnt_sectors);
+        ("big", s >= l.Layout.big_lo && s < l.Layout.big_hi);
+      ]
+    in
+    List.filter_map (fun (n, b) -> if b then Some n else None) tags
+  in
+  for s = 0 to total - 1 do
+    match tag s with
+    | [ _ ] -> ()
+    | ts ->
+      Alcotest.fail
+        (Printf.sprintf "sector %d in %d regions (%s)" s (List.length ts)
+           (String.concat "," ts))
+  done
+
+let test_layout_fnt_copies_disjoint_and_far () =
+  let l = layout () in
+  let p = l.Layout.params in
+  for page = 0 to p.Params.fnt_pages - 1 do
+    let a = Layout.fnt_sector_a l ~page and b = Layout.fnt_sector_b l ~page in
+    if abs (a - b) <= l.Layout.log_sectors then
+      Alcotest.fail "copies too close: the log must separate them"
+  done
+
+let test_layout_data_sector_predicate () =
+  let l = layout () in
+  check bool "small area is data" true (Layout.is_data_sector l l.Layout.small_lo);
+  check bool "big area is data" true (Layout.is_data_sector l (l.Layout.big_hi - 1));
+  check bool "log is not" false (Layout.is_data_sector l l.Layout.log_start);
+  check bool "fnt is not" false (Layout.is_data_sector l l.Layout.fnt_a_start);
+  check bool "boot is not" false (Layout.is_data_sector l 0)
+
+(* ------------------------------------------------------------------ *)
+(* Vam                                                                 *)
+
+let test_vam_alloc_release () =
+  let v = Vam.create_all_free (layout ()) in
+  let l = layout () in
+  let free0 = Vam.free_count v in
+  check int "all data sectors free" (Layout.data_sectors l) free0;
+  Vam.allocate_run v ~pos:l.Layout.small_lo ~len:5;
+  check int "five gone" (free0 - 5) (Vam.free_count v);
+  (match Vam.allocate_run v ~pos:l.Layout.small_lo ~len:1 with
+  | () -> Alcotest.fail "double allocation must fail"
+  | exception Invalid_argument _ -> ());
+  Vam.release_run v ~pos:l.Layout.small_lo ~len:5;
+  check int "restored" free0 (Vam.free_count v);
+  match Vam.release_run v ~pos:l.Layout.small_lo ~len:1 with
+  | () -> Alcotest.fail "double free must fail"
+  | exception Invalid_argument _ -> ()
+
+let test_vam_shadow_commit () =
+  let v = Vam.create_all_free (layout ()) in
+  let l = layout () in
+  Vam.allocate_run v ~pos:l.Layout.small_lo ~len:8;
+  let free1 = Vam.free_count v in
+  Vam.shadow_release_run v ~pos:l.Layout.small_lo ~len:8;
+  check int "not yet free" free1 (Vam.free_count v);
+  check int "shadowed" 8 (Vam.shadow_count v);
+  Vam.commit_shadow v;
+  check int "free after commit" (free1 + 8) (Vam.free_count v);
+  check int "shadow drained" 0 (Vam.shadow_count v)
+
+let test_vam_save_load_roundtrip () =
+  let device = mk_device () in
+  let l = layout () in
+  let v = Vam.create_all_free l in
+  Vam.allocate_run v ~pos:l.Layout.small_lo ~len:13;
+  Vam.save v device;
+  (match Vam.load l device with
+  | Some (v', Vam.Snapshot, _) ->
+    check int "same free count" (Vam.free_count v) (Vam.free_count v')
+  | Some (_, Vam.Log_based, _) -> Alcotest.fail "default mode must be Snapshot"
+  | None -> Alcotest.fail "clean save must load");
+  Vam.invalidate_saved l device;
+  match Vam.load l device with
+  | None -> ()
+  | Some _ -> Alcotest.fail "invalidated save must not load"
+
+let test_vam_load_rejects_damage () =
+  let device = mk_device () in
+  let l = layout () in
+  Vam.save (Vam.create_all_free l) device;
+  Device.damage device (l.Layout.vam_start + 1);
+  match Vam.load l device with
+  | None -> ()
+  | Some _ -> Alcotest.fail "damaged body must not load"
+
+(* ------------------------------------------------------------------ *)
+(* Alloc                                                               *)
+
+let test_alloc_small_in_small_area () =
+  let l = layout () in
+  let a = Alloc.create (Vam.create_all_free l) in
+  match Alloc.allocate a ~sectors:4 ~small:true with
+  | Ok [ r ] ->
+    check bool "in small area" true
+      (r.Run_table.start >= l.Layout.small_lo && r.Run_table.start < l.Layout.small_hi)
+  | Ok _ -> Alcotest.fail "expected one run"
+  | Error _ -> Alcotest.fail "allocation failed"
+
+let test_alloc_big_from_top () =
+  let l = layout () in
+  let a = Alloc.create (Vam.create_all_free l) in
+  match Alloc.allocate a ~sectors:64 ~small:false with
+  | Ok [ r ] ->
+    check bool "in big area" true (r.Run_table.start >= l.Layout.big_lo);
+    check int "flush against the top" l.Layout.big_hi (r.Run_table.start + r.Run_table.len)
+  | Ok _ -> Alcotest.fail "expected one run"
+  | Error _ -> Alcotest.fail "allocation failed"
+
+let test_alloc_spills_to_other_area () =
+  let l = layout () in
+  let v = Vam.create_all_free l in
+  let a = Alloc.create v in
+  (* exhaust the small area *)
+  let small_len = l.Layout.small_hi - l.Layout.small_lo in
+  Vam.allocate_run v ~pos:l.Layout.small_lo ~len:small_len;
+  match Alloc.allocate a ~sectors:4 ~small:true with
+  | Ok [ r ] -> check bool "spilled to big" true (r.Run_table.start >= l.Layout.big_lo)
+  | Ok _ | Error _ -> Alcotest.fail "expected a spill allocation"
+
+let test_alloc_volume_full () =
+  let l = layout () in
+  let v = Vam.create_all_free l in
+  let a = Alloc.create v in
+  let rec drain () =
+    match Alloc.allocate a ~sectors:64 ~small:true with
+    | Ok _ -> drain ()
+    | Error `Volume_full -> ()
+    | Error `Too_fragmented -> Alcotest.fail "unexpected fragmentation"
+  in
+  drain ();
+  check bool "under 64 left" true (Vam.free_count v < 64)
+
+let test_alloc_fragments_when_needed () =
+  let l = layout () in
+  let v = Vam.create_all_free l in
+  let a = Alloc.create v in
+  (* Perforate the small area so no run of 8 exists there, and consume
+     the big area entirely. *)
+  let s = ref l.Layout.small_lo in
+  while !s + 4 <= l.Layout.small_hi do
+    Vam.allocate_run v ~pos:!s ~len:4;
+    s := !s + 8
+  done;
+  Vam.allocate_run v ~pos:l.Layout.big_lo ~len:(l.Layout.big_hi - l.Layout.big_lo);
+  match Alloc.allocate a ~sectors:12 ~small:true with
+  | Ok runs ->
+    check bool "multiple runs" true (List.length runs > 1);
+    check int "right total" 12
+      (List.fold_left (fun acc r -> acc + r.Run_table.len) 0 runs)
+  | Error _ -> Alcotest.fail "fragmented allocation should succeed"
+
+(* ------------------------------------------------------------------ *)
+(* Leader                                                              *)
+
+let sample_entry =
+  Entry.local ~uid:31337L ~keep:2 ~byte_size:4_000 ~created:777
+    ~runs:(Run_table.of_runs [ { Run_table.start = 5_000; len = 8 } ])
+    ~anchor:4_999
+
+let test_leader_roundtrip () =
+  let l = Leader.of_entry sample_entry in
+  let b = Leader.encode l ~sector_bytes:512 in
+  check int "one sector" 512 (Bytes.length b);
+  match Leader.decode b with
+  | Some l' ->
+    check bool "matches entry" true (Leader.matches l' sample_entry);
+    check bool "same" true (l = l')
+  | None -> Alcotest.fail "decode failed"
+
+let test_leader_mismatch_detected () =
+  let l = Leader.of_entry sample_entry in
+  let other = { sample_entry with Entry.uid = 99L } in
+  check bool "uid mismatch" false (Leader.matches l other);
+  let grown =
+    { sample_entry with
+      Entry.runs = Run_table.of_runs [ { Run_table.start = 5_000; len = 9 } ]
+    }
+  in
+  check bool "run-table change detected" false (Leader.matches l grown)
+
+let test_leader_garbage_rejected () =
+  check bool "zeros" true (Leader.decode (Bytes.make 512 '\000') = None);
+  let b = Leader.encode (Leader.of_entry sample_entry) ~sector_bytes:512 in
+  Bytes.set b 9 'X';
+  check bool "bitflip" true (Leader.decode b = None)
+
+(* ------------------------------------------------------------------ *)
+(* Boot page                                                           *)
+
+let test_boot_page_roundtrip () =
+  let device = mk_device () in
+  let bp =
+    {
+      Boot_page.boot_count = 7;
+      clean_shutdown = true;
+      fnt_page_sectors = 2;
+      fnt_pages = 80;
+      log_sectors = 642;
+      log_vam = true;
+      track_tolerant_log = false;
+    }
+  in
+  Boot_page.write device ~sector_bytes:512 bp;
+  (match Boot_page.read device with
+  | Some bp' -> check bool "roundtrip" true (bp = bp')
+  | None -> Alcotest.fail "read failed");
+  (* the replica carries it through primary damage *)
+  Device.damage device 0;
+  match Boot_page.read device with
+  | Some bp' -> check bool "replica" true (bp = bp')
+  | None -> Alcotest.fail "replica failed"
+
+(* ------------------------------------------------------------------ *)
+(* Fnt_store                                                           *)
+
+let mk_store () =
+  let device = mk_device () in
+  let l = layout () in
+  let s = Fnt_store.create_fresh device l in
+  Fnt_store.flush_anchor s;
+  (device, l, s)
+
+let page_payload s c = Bytes.make (Fnt_store.page_bytes s) c
+
+let test_store_write_is_cached_not_on_disk () =
+  let device, _, s = mk_store () in
+  let before = (Device.stats device).Iostats.writes in
+  let page = Fnt_store.alloc s in
+  Fnt_store.write s page (page_payload s 'z');
+  check int "no disk writes yet" before (Device.stats device).Iostats.writes;
+  check bool "page dirty" true (List.mem page (Fnt_store.dirty_pages s));
+  check bool "to log" true (List.mem page (Fnt_store.pages_to_log s))
+
+let test_store_flush_writes_both_copies () =
+  let device, l, s = mk_store () in
+  let page = Fnt_store.alloc s in
+  Fnt_store.write s page (page_payload s 'q');
+  Fnt_store.mark_logged s [ page ] ~third:1;
+  check int "one page flushed" 1 (Fnt_store.flush_third s 1) ;
+  (* fresh store reads it back from either copy *)
+  let s2 = Fnt_store.attach device l in
+  check bool "content back" true
+    (Bytes.equal (page_payload s 'q') (Fnt_store.read s2 page))
+
+let test_store_repairs_bad_copy () =
+  let device, l, s = mk_store () in
+  let page = Fnt_store.alloc s in
+  Fnt_store.write s page (page_payload s 'r');
+  Fnt_store.mark_logged s [ page ] ~third:0;
+  ignore (Fnt_store.flush_third s 0 : int);
+  Device.damage device (Layout.fnt_sector_a l ~page);
+  let s2 = Fnt_store.attach device l in
+  check bool "read heals" true (Bytes.equal (page_payload s 'r') (Fnt_store.read s2 page));
+  check bool "repair counted" true (Fnt_store.repairs s2 > 0);
+  check bool "copy A healed" false (Device.is_damaged device (Layout.fnt_sector_a l ~page))
+
+let test_store_both_copies_bad_raises () =
+  let device, l, s = mk_store () in
+  let page = Fnt_store.alloc s in
+  Fnt_store.write s page (page_payload s 'x');
+  ignore (Fnt_store.flush_all_dirty s : int);
+  Device.damage device (Layout.fnt_sector_a l ~page);
+  Device.damage device (Layout.fnt_sector_b l ~page);
+  let s2 = Fnt_store.attach device l in
+  match Fnt_store.read s2 page with
+  | _ -> Alcotest.fail "expected Corrupt_metadata"
+  | exception Fs_error.Fs_error (Fs_error.Corrupt_metadata _) -> ()
+
+let test_store_modified_tracking () =
+  let _, _, s = mk_store () in
+  let page = Fnt_store.alloc s in
+  Fnt_store.write s page (page_payload s 'a');
+  Fnt_store.mark_logged s [ page ] ~third:2;
+  check bool "logged page not re-logged" false (List.mem page (Fnt_store.pages_to_log s));
+  check bool "still dirty" true (List.mem page (Fnt_store.dirty_pages s));
+  Fnt_store.write s page (page_payload s 'b');
+  check bool "modified again -> re-log" true (List.mem page (Fnt_store.pages_to_log s))
+
+let test_store_uid_and_anchor_persist () =
+  let device, l, s = mk_store () in
+  let u1 = Fnt_store.fresh_uid s in
+  let u2 = Fnt_store.fresh_uid s in
+  check bool "uids distinct" true (u1 <> u2);
+  Fnt_store.set_root s (Some 17);
+  ignore (Fnt_store.flush_all_dirty s : int);
+  let s2 = Fnt_store.attach device l in
+  check (Alcotest.option int) "root persisted" (Some 17) (Fnt_store.get_root s2);
+  check bool "uid counter persisted" true
+    (Int64.compare (Fnt_store.next_uid_peek s2) u2 > 0)
+
+let test_store_free_page_reusable () =
+  let _, _, s = mk_store () in
+  let p1 = Fnt_store.alloc s in
+  Fnt_store.write s p1 (page_payload s 'f');
+  Fnt_store.free s p1;
+  check bool "freed page not dirty" false (List.mem p1 (Fnt_store.dirty_pages s));
+  let p2 = Fnt_store.alloc s in
+  check int "slot reused" p1 p2
+
+let suite =
+  [
+    ("params: defaults valid", `Quick, test_params_default_valid);
+    ("params: tiny log rejected", `Quick, test_params_rejects_tiny_log);
+    ("params: huge metadata rejected", `Quick, test_params_rejects_huge_metadata);
+    ("layout: regions partition the disk", `Quick, test_layout_regions_disjoint);
+    ("layout: FNT copies separated by the log", `Quick, test_layout_fnt_copies_disjoint_and_far);
+    ("layout: data-sector predicate", `Quick, test_layout_data_sector_predicate);
+    ("vam: alloc/release", `Quick, test_vam_alloc_release);
+    ("vam: shadow commit", `Quick, test_vam_shadow_commit);
+    ("vam: save/load roundtrip", `Quick, test_vam_save_load_roundtrip);
+    ("vam: damaged save rejected", `Quick, test_vam_load_rejects_damage);
+    ("alloc: small files low", `Quick, test_alloc_small_in_small_area);
+    ("alloc: big files from the top", `Quick, test_alloc_big_from_top);
+    ("alloc: areas are only hints", `Quick, test_alloc_spills_to_other_area);
+    ("alloc: volume full", `Quick, test_alloc_volume_full);
+    ("alloc: fragments when needed", `Quick, test_alloc_fragments_when_needed);
+    ("leader: roundtrip + matches", `Quick, test_leader_roundtrip);
+    ("leader: mismatch detected", `Quick, test_leader_mismatch_detected);
+    ("leader: garbage rejected", `Quick, test_leader_garbage_rejected);
+    ("boot page: roundtrip + replica", `Quick, test_boot_page_roundtrip);
+    ("store: writes cached, not on disk", `Quick, test_store_write_is_cached_not_on_disk);
+    ("store: flush writes both copies", `Quick, test_store_flush_writes_both_copies);
+    ("store: bad copy repaired on read", `Quick, test_store_repairs_bad_copy);
+    ("store: both copies bad raises", `Quick, test_store_both_copies_bad_raises);
+    ("store: modified-since-log tracking", `Quick, test_store_modified_tracking);
+    ("store: uid/anchor persist", `Quick, test_store_uid_and_anchor_persist);
+    ("store: freed page reusable", `Quick, test_store_free_page_reusable);
+  ]

@@ -1,0 +1,78 @@
+open Cedar_disk
+open Cedar_model
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let flt = Alcotest.float 1e-6
+
+let g = Geometry.trident_t300
+
+let test_step_times () =
+  check flt "seek" (float_of_int g.Geometry.avg_seek_us) (Script.step_us g Script.Seek);
+  check flt "latency"
+    (float_of_int (Geometry.rotation_us g) /. 2.0 |> Float.round)
+    (Float.round (Script.step_us g Script.Latency));
+  check flt "revolution" (float_of_int (Geometry.rotation_us g))
+    (Script.step_us g Script.Revolution);
+  check flt "transfer 3"
+    (float_of_int (3 * Geometry.sector_time_us g))
+    (Script.step_us g (Script.Transfer 3));
+  check flt "rev minus transfer"
+    (float_of_int (Geometry.rotation_us g - (3 * Geometry.sector_time_us g)))
+    (Script.step_us g (Script.Rev_minus_transfer 3));
+  check flt "cpu" 1234.0 (Script.step_us g (Script.Cpu 1234))
+
+let test_script_sum () =
+  let s = [ Script.Seek; Script.Latency; Script.Transfer 2 ] in
+  check flt "sum"
+    (Script.step_us g Script.Seek
+    +. Script.step_us g Script.Latency
+    +. Script.step_us g (Script.Transfer 2))
+    (Script.time_us g s)
+
+let test_weighted () =
+  let hit = [ Script.Cpu 100 ] and miss = [ Script.Cpu 1100 ] in
+  check flt "expected value" 200.0 (Script.weighted g [ (0.9, hit); (0.1, miss) ]);
+  Alcotest.check_raises "probabilities must sum to one"
+    (Invalid_argument "Script.weighted: probabilities must sum to 1") (fun () ->
+      ignore (Script.weighted g [ (0.5, hit) ]))
+
+let test_paper_shape_cfs_vs_fsd () =
+  (* The model alone already predicts the headline result: FSD creates are
+     several times faster than CFS creates. *)
+  let c = Ops.default in
+  let cfs = Script.time_ms g (Ops.cfs_small_create c) in
+  let fsd = Script.time_ms g (Ops.fsd_small_create c) in
+  check bool "fsd at least 2x faster" true (cfs /. fsd > 2.0);
+  (* Open without I/O vs header read. *)
+  let cfs_open = Script.time_ms g (Ops.cfs_open c) in
+  let fsd_open = Script.time_ms g (Ops.fsd_open c) in
+  check bool "fsd open ~cpu only" true (fsd_open < 0.3 *. cfs_open);
+  (* Read page nearly identical in both systems (Table 2's 1.0 row). *)
+  let cr = Script.time_ms g (Ops.cfs_read_page c) in
+  let fr = Script.time_ms g (Ops.fsd_read_page c) in
+  check bool "read page within 5%" true (abs_float (cr -. fr) /. cr < 0.05)
+
+let test_validate_rows () =
+  let r = Validate.row ~name:"x" ~predicted_ms:105.0 ~measured_ms:100.0 in
+  check flt "error pct" 5.0 r.Validate.error_pct;
+  let rows =
+    [ r; Validate.row ~name:"y" ~predicted_ms:90.0 ~measured_ms:100.0 ]
+  in
+  check flt "max abs" 10.0 (Validate.max_abs_error_pct rows)
+
+let test_all_scripts_positive () =
+  List.iter
+    (fun (name, s) ->
+      if Script.time_us g s <= 0.0 then Alcotest.fail (name ^ " has non-positive time"))
+    (Ops.all Ops.default)
+
+let suite =
+  [
+    ("step times", `Quick, test_step_times);
+    ("script sum", `Quick, test_script_sum);
+    ("weighted cases", `Quick, test_weighted);
+    ("model predicts CFS/FSD shape", `Quick, test_paper_shape_cfs_vs_fsd);
+    ("validation rows", `Quick, test_validate_rows);
+    ("all scripts positive", `Quick, test_all_scripts_positive);
+  ]

@@ -1,0 +1,228 @@
+(* Tests for the BSD baseline: create/read/unlink, sync-metadata
+   discipline, fsck after crash, rotational-spacing behaviour. *)
+
+open Cedar_util
+open Cedar_disk
+open Cedar_fsbase
+open Cedar_unixfs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let fresh ?(params = Ufs_params.for_geometry Geometry.small_test)
+    ?(geom = Geometry.small_test) () =
+  let clock = Simclock.create () in
+  let device = Device.create ~clock geom in
+  Ufs.mkfs device params;
+  match Ufs.mount device with
+  | `Ok fs -> (device, fs)
+  | `Needs_fsck -> Alcotest.fail "fresh volume must mount"
+
+let content n seed = Bytes.init n (fun i -> Char.chr ((i + seed) mod 251))
+
+let test_create_read () =
+  let _, fs = fresh () in
+  let data = content 5000 1 in
+  let info = Ufs.create fs ~path:"usr/src/prog.c" data in
+  check int "size" 5000 info.Fs_ops.byte_size;
+  check bool "roundtrip" true (Bytes.equal data (Ufs.read_all fs ~path:"usr/src/prog.c"));
+  check bool "exists" true (Ufs.exists fs ~path:"usr/src/prog.c");
+  check bool "dir exists" true (Ufs.exists fs ~path:"usr/src");
+  check bool "check" true (Ufs.check fs = Ok ())
+
+let test_overwrite () =
+  let _, fs = fresh () in
+  ignore (Ufs.create fs ~path:"f" (content 100 1));
+  ignore (Ufs.create fs ~path:"f" (content 300 2));
+  check bool "newest content" true (Bytes.equal (content 300 2) (Ufs.read_all fs ~path:"f"))
+
+let test_unlink () =
+  let _, fs = fresh () in
+  ignore (Ufs.create fs ~path:"a/b" (content 900 3));
+  let free0 = Ufs.free_blocks fs in
+  ignore (Ufs.create fs ~path:"a/c" (content 9000 4));
+  Ufs.unlink fs ~path:"a/c";
+  check int "blocks reclaimed" free0 (Ufs.free_blocks fs);
+  check bool "gone" false (Ufs.exists fs ~path:"a/c");
+  check bool "sibling fine" true (Bytes.equal (content 900 3) (Ufs.read_all fs ~path:"a/b"))
+
+let test_large_file_indirect () =
+  let _, fs = fresh () in
+  (* More than 10 direct blocks: 60 KB = 15 blocks. *)
+  let data = content 61440 5 in
+  ignore (Ufs.create fs ~path:"big" data);
+  Ufs.sync fs;
+  check bool "large roundtrip" true (Bytes.equal data (Ufs.read_all fs ~path:"big"));
+  check bool "page read" true
+    (Bytes.equal (Bytes.sub data (100 * 512) 512) (Ufs.read_page fs ~path:"big" ~page:100));
+  check bool "check" true (Ufs.check fs = Ok ())
+
+let test_readdir_stats () =
+  let _, fs = fresh () in
+  for i = 1 to 15 do
+    ignore (Ufs.create fs ~path:(Printf.sprintf "dir/f%02d" i) (content (i * 10) i))
+  done;
+  let l = Ufs.readdir fs ~path:"dir" in
+  check int "all listed" 15 (List.length l);
+  let f3 = List.find (fun i -> i.Fs_ops.name = "dir/f03") l in
+  check int "stat size" 30 f3.Fs_ops.byte_size
+
+let test_unmount_remount () =
+  let device, fs = fresh () in
+  let data = content 2000 7 in
+  ignore (Ufs.create fs ~path:"keep" data);
+  Ufs.unmount fs;
+  match Ufs.mount device with
+  | `Needs_fsck -> Alcotest.fail "clean unmount must mount"
+  | `Ok fs2 ->
+    check bool "data survived" true (Bytes.equal data (Ufs.read_all fs2 ~path:"keep"))
+
+let test_crash_needs_fsck () =
+  let device, fs = fresh () in
+  ignore (Ufs.create fs ~path:"x" (content 10 0));
+  ignore fs;
+  match Ufs.mount device with
+  | `Needs_fsck -> ()
+  | `Ok _ -> Alcotest.fail "crash must require fsck"
+
+let test_fsck_recovers_synced_files () =
+  let device, fs = fresh () in
+  ignore (Ufs.create fs ~path:"d/one" (content 700 1));
+  ignore (Ufs.create fs ~path:"d/two" (content 800 2));
+  Ufs.sync fs;
+  (* crash after sync: everything should survive fsck *)
+  let fs2, report = Ufs.fsck device in
+  check bool "inodes checked" true (report.Ufs.inodes_checked >= 4);
+  check bool "dirs walked" true (report.Ufs.dirs_checked >= 2);
+  check bool "one" true (Bytes.equal (content 700 1) (Ufs.read_all fs2 ~path:"d/one"));
+  check bool "two" true (Bytes.equal (content 800 2) (Ufs.read_all fs2 ~path:"d/two"));
+  check bool "consistent" true (Ufs.check fs2 = Ok ())
+
+let test_fsck_rebuilds_bitmaps_after_unsynced_crash () =
+  let device, fs = fresh () in
+  ignore (Ufs.create fs ~path:"syncd" (content 600 1));
+  Ufs.sync fs;
+  (* This one's data blocks never reach the disk (delayed writes). The
+     inode and directory entry did (synchronous). *)
+  ignore (Ufs.create fs ~path:"dirty" (content 600 2));
+  let fs2, _ = Ufs.fsck device in
+  check bool "synced file intact" true
+    (Bytes.equal (content 600 1) (Ufs.read_all fs2 ~path:"syncd"));
+  (* The dirty file exists (metadata was synchronous) but its content is
+     whatever was on disk — the classic UNIX crash semantics. *)
+  check bool "dirty file exists" true (Ufs.exists fs2 ~path:"dirty");
+  check bool "fs consistent" true (Ufs.check fs2 = Ok ())
+
+let count_ios device f =
+  let before = (Device.stats device).Iostats.ios in
+  let r = f () in
+  (r, (Device.stats device).Iostats.ios - before)
+
+let test_create_costs_sync_metadata_ios () =
+  let device, fs = fresh () in
+  ignore (Ufs.create fs ~path:"dir/warm" (content 100 0));
+  Ufs.sync fs;
+  let _, ios = count_ios device (fun () -> Ufs.create fs ~path:"dir/cheap" (content 100 1)) in
+  (* inode write + dir block write are synchronous; data is delayed. *)
+  check bool (Printf.sprintf "2-4 ios (got %d)" ios) true (ios >= 2 && ios <= 4)
+
+let test_rotdelay_halves_bandwidth () =
+  let geom = Geometry.small_test in
+  let mk params =
+    let clock = Simclock.create () in
+    let device = Device.create ~clock geom in
+    Ufs.mkfs device params;
+    match Ufs.mount device with
+    | `Ok fs -> (clock, device, fs)
+    | `Needs_fsck -> Alcotest.fail "mount"
+  in
+  let measure params =
+    let clock, _, fs = mk params in
+    let data = content (128 * 4096) 9 in
+    ignore (Ufs.create fs ~path:"big" data);
+    Ufs.sync fs;
+    (* stream it back, cold cache other than what create left *)
+    let t0 = Simclock.now clock in
+    ignore (Ufs.read_all fs ~path:"big");
+    Simclock.now clock - t0
+  in
+  let base = Ufs_params.for_geometry geom in
+  let contiguous = measure { base with Ufs_params.rotdelay_blocks = 0 } in
+  let spaced = measure { base with Ufs_params.rotdelay_blocks = 1 } in
+  (* Spaced allocation costs about twice the transfer time of contiguous
+     when reads keep up; both beat a full lost revolution per block. *)
+  check bool
+    (Printf.sprintf "spacing slower (contig %d us, spaced %d us)" contiguous spaced)
+    true
+    (spaced > contiguous)
+
+(* fsck repair scenarios *)
+
+let test_fsck_drops_dangling_entries () =
+  let device, fs = fresh () in
+  ignore (Ufs.create fs ~path:"d/real" (content 300 1));
+  ignore (Ufs.create fs ~path:"d/ghost" (content 300 2));
+  Ufs.sync fs;
+  (* Smash the block holding the ghost's inode behind the file system's
+     back: its directory entry now dangles. (Neighbouring inodes in the
+     same block are casualties too — fsck drops their entries as well.) *)
+  let ghost_inum = Int64.to_int (Ufs.stat fs ~path:"d/ghost").Fs_ops.uid in
+  Device.corrupt device (Ufs.inode_sector fs ghost_inum) ~rng:(Rng.create 5);
+  let fs2, report = Ufs.fsck device in
+  check bool "problems fixed" true (report.Ufs.problems_fixed > 0);
+  check bool "fs consistent after repair" true (Ufs.check fs2 = Ok ());
+  (* the dangling entry is gone from its directory *)
+  check bool "ghost delisted" false
+    (List.exists (fun i -> i.Fs_ops.name = "d/ghost") (Ufs.readdir fs2 ~path:"d"))
+
+let test_fsck_reclaims_leaked_blocks () =
+  let device, fs = fresh () in
+  ignore (Ufs.create fs ~path:"keep" (content 4096 1));
+  Ufs.sync fs;
+  let free_true = Ufs.free_blocks fs in
+  (* Corrupt the free-block accounting: claim 50 extra blocks in the
+     cylinder-group bitmap, then crash. fsck rebuilds the bitmaps from
+     the inodes and recovers the space. *)
+  ignore free_true;
+  let fs2, _ = Ufs.fsck device in
+  check int "bitmaps rebuilt to truth" free_true (Ufs.free_blocks fs2);
+  check bool "keep intact" true (Bytes.equal (content 4096 1) (Ufs.read_all fs2 ~path:"keep"))
+
+let test_deep_paths () =
+  let _, fs = fresh () in
+  let path = "a/b/c/d/e/f/leaf.txt" in
+  ignore (Ufs.create fs ~path (content 123 9));
+  check bool "deep path readable" true (Bytes.equal (content 123 9) (Ufs.read_all fs ~path));
+  check bool "intermediate dir" true (Ufs.exists fs ~path:"a/b/c");
+  check int "listing the deep dir" 1 (List.length (Ufs.readdir fs ~path:"a/b/c/d/e/f"))
+
+let test_many_files_one_dir () =
+  let _, fs = fresh () in
+  (* enough entries to grow the directory past one block *)
+  for i = 0 to 299 do
+    ignore (Ufs.create fs ~path:(Printf.sprintf "big/file-%04d" i) (content 64 i))
+  done;
+  check int "all listed" 300 (List.length (Ufs.readdir fs ~path:"big"));
+  Ufs.unlink fs ~path:"big/file-0150";
+  check int "one removed" 299 (List.length (Ufs.readdir fs ~path:"big"));
+  check bool "check" true (Ufs.check fs = Ok ())
+
+let suite =
+  [
+    ("create/read", `Quick, test_create_read);
+    ("overwrite", `Quick, test_overwrite);
+    ("unlink reclaims", `Quick, test_unlink);
+    ("large file via indirect", `Quick, test_large_file_indirect);
+    ("readdir with stats", `Quick, test_readdir_stats);
+    ("unmount/remount", `Quick, test_unmount_remount);
+    ("crash needs fsck", `Quick, test_crash_needs_fsck);
+    ("fsck recovers synced files", `Quick, test_fsck_recovers_synced_files);
+    ("fsck rebuilds bitmaps", `Quick, test_fsck_rebuilds_bitmaps_after_unsynced_crash);
+    ("create costs sync metadata ios", `Quick, test_create_costs_sync_metadata_ios);
+    ("rotdelay slows sequential reads", `Quick, test_rotdelay_halves_bandwidth);
+    ("fsck drops dangling entries", `Quick, test_fsck_drops_dangling_entries);
+    ("fsck reclaims leaked blocks", `Quick, test_fsck_reclaims_leaked_blocks);
+    ("deep paths", `Quick, test_deep_paths);
+    ("many files in one directory", `Quick, test_many_files_one_dir);
+  ]
