@@ -10,6 +10,7 @@
      cedar info vol.img                  volume summary + structural check
      cedar crash vol.img                 mark the volume as not shut down
      cedar recover vol.img               boot (FSD: log replay; CFS: scavenge)
+     cedar scavenge vol.img              rebuild metadata from leader pages
 
    Mutating commands shut the file system down cleanly before saving the
    image; [crash] deliberately skips that, so the next boot exercises
@@ -43,7 +44,18 @@ let detect device =
 let boot_vol device =
   match detect device with
   | `Fsd ->
-    let fs, report = Cedar_fsd.Fsd.boot device in
+    let fs, report =
+      match Cedar_fsd.Fsd.try_boot device with
+      | `Ok v -> v
+      | `Needs_scavenge reason ->
+        Printf.eprintf "(metadata damage beyond log replay: %s; scavenging)\n"
+          reason;
+        let r = Cedar_fsd.Scavenge.run device in
+        Printf.eprintf "(scavenge: %s, %.1f s)\n"
+          (Format.asprintf "%a" Cedar_fsd.Scavenge.pp_report r)
+          (Simclock.s_of_us r.Cedar_fsd.Scavenge.duration_us);
+        Cedar_fsd.Fsd.boot device
+    in
     if report.Cedar_fsd.Fsd.replayed_records > 0 then
       Printf.eprintf "(recovery replayed %d log records in %.2f s)\n"
         report.Cedar_fsd.Fsd.replayed_records
@@ -219,6 +231,31 @@ let cmd_recover path =
     Cedar_cfs.Cfs.shutdown fs);
   save_device device path
 
+(* Scavenge of last resort: rebuild the name table and VAM from whatever
+   survives on disk (FSD: leader pages; CFS: its own scavenger), then boot
+   to prove the result is sound. *)
+let cmd_scavenge path =
+  guard @@ fun () ->
+  let device = load_device path in
+  (match detect device with
+  | `Fsd ->
+    let r = Cedar_fsd.Scavenge.run device in
+    Printf.printf "FSD scavenge: %s; %.1f s\n"
+      (Format.asprintf "%a" Cedar_fsd.Scavenge.pp_report r)
+      (Simclock.s_of_us r.Cedar_fsd.Scavenge.duration_us);
+    let fs, _ = Cedar_fsd.Fsd.boot device in
+    (match Cedar_fsd.Fsd.check fs with
+    | Ok () -> print_endline "structural check: ok"
+    | Error m -> Printf.printf "structural check FAILED: %s\n" m);
+    Cedar_fsd.Fsd.shutdown fs
+  | `Cfs ->
+    let fs, r = Cedar_cfs.Cfs.scavenge device in
+    Printf.printf "CFS scavenge: %d files recovered, %d lost, %.1f s\n"
+      r.Cedar_cfs.Cfs.files_recovered r.Cedar_cfs.Cfs.files_lost
+      (Simclock.s_of_us r.Cedar_cfs.Cfs.duration_us);
+    Cedar_cfs.Cfs.shutdown fs);
+  save_device device path
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 
@@ -278,6 +315,12 @@ let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc:"run crash recovery (FSD log replay / CFS scavenge)")
     Term.(const cmd_recover $ img)
 
+let scavenge_cmd =
+  Cmd.v
+    (Cmd.info "scavenge"
+       ~doc:"rebuild volume metadata from leader pages (survives total name-table loss)")
+    Term.(const cmd_scavenge $ img)
+
 let () =
   let doc = "simulated Cedar file-system volumes (Hagmann, SOSP 1987)" in
   exit
@@ -293,4 +336,5 @@ let () =
             inspect_cmd;
             crash_cmd;
             recover_cmd;
+            scavenge_cmd;
           ]))

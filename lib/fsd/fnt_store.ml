@@ -115,7 +115,11 @@ let write_home_image device layout ~page image =
   Device.write_run device ~sector:(Layout.fnt_sector_a layout ~page) image;
   Device.write_run device ~sector:(Layout.fnt_sector_b layout ~page) image
 
-(* Both copies are read and checked (§5.1); a lone bad copy is repaired. *)
+(* Both copies are read and checked (§5.1); a lone bad copy is repaired.
+   When both copies carry a valid checksum but disagree (a torn
+   home-write pair, or a wild write that happens to re-frame), copy A is
+   authoritative — home writes go A then B, so A is never the stale one —
+   and B is rewritten from it. *)
 let read_home t page =
   let n = t.layout.Layout.params.Params.fnt_page_sectors in
   let read_copy sector =
@@ -127,7 +131,12 @@ let read_home t page =
   let sb = Layout.fnt_sector_b t.layout ~page in
   let a = read_copy sa and b = read_copy sb in
   match (a, b) with
-  | Some pa, Some _ -> pa
+  | Some pa, Some pb ->
+    if not (Bytes.equal pa pb) then begin
+      t.repairs <- t.repairs + 1;
+      Device.write_run t.device ~sector:sb (frame t.layout ~page pa)
+    end;
+    pa
   | Some pa, None ->
     t.repairs <- t.repairs + 1;
     Device.write_run t.device ~sector:sb (frame t.layout ~page pa);
@@ -140,6 +149,51 @@ let read_home t page =
     Fs_error.raise_
       (Fs_error.Corrupt_metadata
          (Printf.sprintf "both copies of name-table page %d are bad" page))
+
+(* Twin-copy read without a store (the scavenger probes pages of a
+   volume it cannot attach). No repair side effects. *)
+let try_read_home device layout ~page =
+  let n = layout.Layout.params.Params.fnt_page_sectors in
+  let read_copy sector =
+    match Device.read_run device ~sector ~count:n with
+    | image -> unframe layout ~page image
+    | exception Device.Error _ -> None
+  in
+  match read_copy (Layout.fnt_sector_a layout ~page) with
+  | Some p -> Some p
+  | None -> read_copy (Layout.fnt_sector_b layout ~page)
+
+(* One scrub-demon step: verify both home copies against their checksums
+   and each other; rewrite a lone bad or stale copy from its twin. The
+   cache is deliberately not consulted — a dirty page's home copies are
+   legitimately old but must still agree with each other. *)
+let scrub_page t page =
+  let n = t.layout.Layout.params.Params.fnt_page_sectors in
+  let read_copy sector =
+    match Device.read_run t.device ~sector ~count:n with
+    | image -> unframe t.layout ~page image
+    | exception Device.Error _ -> None
+  in
+  let sa = Layout.fnt_sector_a t.layout ~page in
+  let sb = Layout.fnt_sector_b t.layout ~page in
+  let repair sector payload =
+    t.repairs <- t.repairs + 1;
+    Device.write_run t.device ~sector (frame t.layout ~page payload)
+  in
+  match (read_copy sa, read_copy sb) with
+  | Some pa, Some pb ->
+    if Bytes.equal pa pb then `Ok
+    else begin
+      repair sb pa;
+      `Repaired
+    end
+  | Some pa, None ->
+    repair sb pa;
+    `Repaired
+  | None, Some pb ->
+    repair sa pb;
+    `Repaired
+  | None, None -> `Unreadable
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -164,7 +218,11 @@ let attach device layout =
   let t = mk device layout { root = None; alloc_map = Bitmap.create 1; next_uid = 1L } in
   let payload = read_home t 0 in
   match decode_anchor payload with
-  | Some anchor -> mk device layout anchor
+  | Some anchor ->
+    let t' = mk device layout anchor in
+    (* carry over a twin repair made while reading the anchor *)
+    t'.repairs <- t.repairs;
+    t'
   | None ->
     Fs_error.raise_ (Fs_error.Corrupt_metadata "name-table anchor does not decode")
 
@@ -241,6 +299,17 @@ let fresh_uid t =
   uid
 
 let next_uid_peek t = t.anchor.next_uid
+
+let bump_uid_floor t uid =
+  if Int64.compare uid t.anchor.next_uid > 0 then begin
+    t.anchor.next_uid <- uid;
+    write_anchor t
+  end
+
+let page_in_use t page =
+  page >= 0
+  && page < Bitmap.length t.anchor.alloc_map
+  && Bitmap.get t.anchor.alloc_map page
 
 (* ------------------------------------------------------------------ *)
 (* Log integration                                                     *)

@@ -47,6 +47,13 @@ val flush_anchor : t -> unit
 val fresh_uid : t -> int64
 val next_uid_peek : t -> int64
 
+val bump_uid_floor : t -> int64 -> unit
+(** Raise the uid counter to at least the given value (scavenging: no
+    rebuilt file may collide with a recovered uid). *)
+
+val page_in_use : t -> int -> bool
+(** Whether the anchor's allocation map marks this page slot live. *)
+
 (** {1 Log integration} *)
 
 val framed_image : t -> int -> bytes
@@ -80,4 +87,18 @@ val home_writes : t -> int
 (** Total pages written home so far (each costs two disk writes). *)
 
 val repairs : t -> int
-(** Number of single-copy failures repaired from the twin on read. *)
+(** Copies repaired from the twin — unreadable or checksum-bad copies on
+    read or scrub, plus valid-but-disagreeing twins (copy A wins). *)
+
+(** {1 Scrubbing and scavenging} *)
+
+val scrub_page : t -> int -> [ `Ok | `Repaired | `Unreadable ]
+(** Verify both home copies of a page (checksum and twin comparison),
+    rewriting a lone bad or stale copy in place. [`Unreadable] means both
+    copies are bad: only the offline scavenger can help. Bypasses the
+    cache. *)
+
+val try_read_home :
+  Cedar_disk.Device.t -> Layout.t -> page:int -> bytes option
+(** Twin-copy read of a page's payload without attaching a store and
+    without repair — the scavenger's probe. *)

@@ -25,6 +25,9 @@ type counters = {
   mutable leader_piggybacks : int;
   mutable leader_home_writes : int;
   mutable vam_base_rewrites : int;
+  mutable scrub_passes : int;
+  mutable scrub_fnt_repairs : int;
+  mutable scrub_leader_repairs : int;
 }
 
 type pending_leader = { image : bytes; mutable logged_third : int option }
@@ -44,6 +47,9 @@ type t = {
   mutable last_force : int;
   mutable live : bool;
   mutable vam_saved_clean : bool;
+  mutable last_scrub : int;
+  mutable scrub_page_cursor : int; (* next FNT page pair to verify *)
+  mutable scrub_key_cursor : string; (* next name-table key whose leader to verify *)
   boot_count : int;
   counters : counters;
 }
@@ -56,6 +62,9 @@ let mk_counters () =
     leader_piggybacks = 0;
     leader_home_writes = 0;
     vam_base_rewrites = 0;
+    scrub_passes = 0;
+    scrub_fnt_repairs = 0;
+    scrub_leader_repairs = 0;
   }
 
 let layout t = t.layout
@@ -272,15 +281,16 @@ let insert_entry t ~key (e : Entry.t) =
 (* ------------------------------------------------------------------ *)
 (* Leader handling                                                     *)
 
-let leader_image_of_entry t (e : Entry.t) =
-  Leader.encode (Leader.of_entry e) ~sector_bytes:(sector_bytes t)
+let leader_image_of_entry t ~name ~version (e : Entry.t) =
+  Leader.encode (Leader.of_entry ~name ~version e) ~sector_bytes:(sector_bytes t)
 
-(* After a run-table change the leader must be refreshed; it is logged at
-   the next commit and home-written lazily (never a synchronous I/O). *)
-let refresh_leader t (e : Entry.t) =
+(* After any entry change the leader must be refreshed (it mirrors the
+   whole entry for the scavenger); it is logged at the next commit and
+   home-written lazily (never a synchronous I/O). *)
+let refresh_leader t ~name ~version (e : Entry.t) =
   if e.Entry.anchor >= 0 then
     Hashtbl.replace t.pending_leaders e.Entry.anchor
-      { image = leader_image_of_entry t e; logged_third = None }
+      { image = leader_image_of_entry t ~name ~version e; logged_third = None }
 
 let read_leader t (e : Entry.t) =
   match Hashtbl.find_opt t.pending_leaders e.Entry.anchor with
@@ -291,9 +301,10 @@ let read_leader t (e : Entry.t) =
     | exception Device.Error { sector; _ } ->
       Fs_error.raise_ (Fs_error.Damaged_data { name = "<leader>"; sector }))
 
-let check_leader t name (e : Entry.t) leader =
+let check_leader t name version (e : Entry.t) leader =
   match leader with
-  | Some l when Leader.matches l e -> Hashtbl.replace t.verified e.Entry.uid ()
+  | Some l when Leader.matches l ~name ~version e ->
+    Hashtbl.replace t.verified e.Entry.uid ()
   | Some _ | None ->
     corrupt (Printf.sprintf "leader/name-table mismatch for %s (uid %Ld)" name e.Entry.uid)
 
@@ -315,7 +326,7 @@ let read_sectors_of_runs t runs buf =
 
 (* Read the whole file; on the first access, verify the leader — combined
    with the first data transfer when it is physically adjacent (§5.7). *)
-let read_file_bytes t name (e : Entry.t) =
+let read_file_bytes t name version (e : Entry.t) =
   let sb = sector_bytes t in
   let npages = Run_table.pages e.Entry.runs in
   let buf = Bytes.create (npages * sb) in
@@ -335,7 +346,7 @@ let read_file_bytes t name (e : Entry.t) =
          in
          t.counters.leader_piggybacks <- t.counters.leader_piggybacks + 1;
          let leader = Leader.decode (Bytes.sub combined 0 sb) in
-         check_leader t name e leader;
+         check_leader t name version e leader;
          Bytes.blit combined sb buf 0 (first.Run_table.len * sb);
          let off = ref (first.Run_table.len * sb) in
          List.iter
@@ -348,7 +359,7 @@ let read_file_bytes t name (e : Entry.t) =
      end
      else begin
        if (not (leader_verified t e)) && e.Entry.anchor >= 0 then
-         check_leader t name e (read_leader t e);
+         check_leader t name version e (read_leader t e);
        read_sectors_of_runs t e.Entry.runs buf
      end
    with Device.Error { sector; _ } ->
@@ -433,7 +444,7 @@ let create_common t ~name ~keep ~data_pages ~byte_size ~kind data_opt =
    with e ->
      Alloc.free_now t.alloc runs;
      raise e);
-  let limage = leader_image_of_entry t entry in
+  let limage = leader_image_of_entry t ~name ~version entry in
   (match data_opt with
   | Some data ->
     (* One synchronous I/O: the leader and the first data run together. *)
@@ -534,13 +545,13 @@ let readlink t ~name =
 
 let rec read_all_depth t ~name ~depth =
   require_live t;
-  let _, _, e = newest_exn t name in
+  let _, version, e = newest_exn t name in
   match e.Entry.kind with
   | Entry.Symlink { target } ->
     if depth >= 8 then corrupt ("symlink chain too deep at " ^ name)
     else read_all_depth t ~name:target ~depth:(depth + 1)
   | Entry.Local | Entry.Cached _ ->
-    let bytes = read_file_bytes t name e in
+    let bytes = read_file_bytes t name version e in
     op_done t ~pages:(Run_table.pages e.Entry.runs) ();
     bytes
 
@@ -548,7 +559,7 @@ let read_all t ~name = read_all_depth t ~name ~depth:0
 
 let read_page t ~name ~page =
   require_live t;
-  let _, _, e = newest_exn t name in
+  let _, version, e = newest_exn t name in
   let npages = Run_table.pages e.Entry.runs in
   if page < 0 || page >= npages then Fs_error.raise_ (Fs_error.Bad_page { name; page });
   let sector = Run_table.sector_of_page e.Entry.runs page in
@@ -565,11 +576,11 @@ let read_page t ~name ~page =
            costs only one extra sector of transfer. *)
         let combined = Device.read_run t.device ~sector:e.Entry.anchor ~count:2 in
         t.counters.leader_piggybacks <- t.counters.leader_piggybacks + 1;
-        check_leader t name e (Leader.decode (Bytes.sub combined 0 sb));
+        check_leader t name version e (Leader.decode (Bytes.sub combined 0 sb));
         Bytes.sub combined sb sb
       end
       else begin
-        check_leader t name e (read_leader t e);
+        check_leader t name version e (read_leader t e);
         Device.read t.device sector
       end
     with Device.Error { sector; _ } ->
@@ -588,7 +599,9 @@ let write_page t ~name ~page data =
 
 let update_entry t ~key (e : Entry.t) =
   insert_entry t ~key e;
-  refresh_leader t e
+  match Fname.parse key with
+  | Some (name, version) -> refresh_leader t ~name ~version e
+  | None -> ()
 
 let extend t ~name ~pages =
   require_live t;
@@ -649,7 +662,7 @@ let set_keep t ~name ~keep =
   require_live t;
   if keep < 0 then invalid_arg "Fsd.set_keep";
   let key, version, e = newest_exn t name in
-  insert_entry t ~key { e with Entry.keep };
+  update_entry t ~key { e with Entry.keep };
   enforce_keep t name version keep;
   op_done t ()
 
@@ -663,7 +676,9 @@ let rename t ~from_ ~to_ =
   | Some _ -> Fs_error.raise_ (Fs_error.Bad_name { name = to_; reason = "target exists" })
   | None -> ());
   ignore (B.delete t.tree from_key : bool);
-  insert_entry t ~key:(Fname.key ~name:to_ ~version:1) e;
+  (* The leader mirrors the name: refresh it under the new key so a later
+     scavenge does not resurrect the old name. *)
+  update_entry t ~key:(Fname.key ~name:to_ ~version:1) e;
   op_done t ()
 
 (* Copy duplicates the data pages under a fresh uid and leader. *)
@@ -678,7 +693,7 @@ let touch_cached t ~name =
   let key, _, e = newest_exn t name in
   (match e.Entry.kind with
   | Entry.Cached { server; _ } ->
-    insert_entry t ~key
+    update_entry t ~key
       { e with Entry.kind = Entry.Cached { server; last_used = now t } }
   | Entry.Local | Entry.Symlink _ ->
     corrupt (name ^ " is not a cached remote file"));
@@ -717,10 +732,87 @@ let list t ~prefix =
   op_done t ();
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* Online scrub demon
+
+   Latent damage — a decayed sector, a wild write, silent corruption — in
+   a doubly-kept structure is only survivable while the twin is still
+   good. Waiting for a client read to notice leaves an unbounded window
+   in which the second copy can die too. During idle periods the demon
+   therefore walks the FNT page pairs and the leaders a few at a time,
+   verifies every copy (checksum, not just readability), and rewrites a
+   lone bad copy in place from its surviving source. *)
+
+let scrub_fnt_pages t =
+  let np = t.params.Params.fnt_pages in
+  let budget = min t.params.Params.scrub_pages_per_pass np in
+  for _ = 1 to budget do
+    let page = t.scrub_page_cursor in
+    t.scrub_page_cursor <- (page + 1) mod np;
+    if Fnt_store.page_in_use t.store page then
+      match Fnt_store.scrub_page t.store page with
+      | `Repaired -> t.counters.scrub_fnt_repairs <- t.counters.scrub_fnt_repairs + 1
+      | `Ok | `Unreadable -> ()
+  done
+
+(* A leader that fails its checksum or no longer corroborates the entry
+   is rewritten from the name table (the entry is the primary copy; the
+   leader is reconstructible redundancy). Leaders with a pending image
+   are skipped: their home copy is legitimately stale until the logging
+   code writes it. *)
+let scrub_leaders t =
+  let budget = t.params.Params.scrub_leaders_per_pass in
+  let scanned = ref 0 in
+  let wrapped = ref true in
+  (try
+     B.iter_range ~lo:t.scrub_key_cursor t.tree (fun k v ->
+         if !scanned >= budget then begin
+           t.scrub_key_cursor <- k;
+           wrapped := false;
+           raise Exit
+         end;
+         incr scanned;
+         match Fname.parse k with
+         | None -> ()
+         | Some (name, version) ->
+           let e = decode_entry name v in
+           if
+             e.Entry.anchor >= 0
+             && not (Hashtbl.mem t.pending_leaders e.Entry.anchor)
+           then begin
+             let ok =
+               match Device.read t.device e.Entry.anchor with
+               | b -> (
+                 match Leader.decode b with
+                 | Some l -> Leader.matches l ~name ~version e
+                 | None -> false)
+               | exception Device.Error _ -> false
+             in
+             if not ok then begin
+               Device.write t.device e.Entry.anchor
+                 (leader_image_of_entry t ~name ~version e);
+               t.counters.scrub_leader_repairs <-
+                 t.counters.scrub_leader_repairs + 1
+             end;
+             Hashtbl.replace t.verified e.Entry.uid ()
+           end)
+   with Exit -> ());
+  if !wrapped then t.scrub_key_cursor <- ""
+
+let maybe_scrub t =
+  let interval = t.params.Params.scrub_interval_us in
+  if interval > 0 && now t - t.last_scrub >= interval then begin
+    t.last_scrub <- now t;
+    t.counters.scrub_passes <- t.counters.scrub_passes + 1;
+    scrub_fnt_pages t;
+    scrub_leaders t
+  end
+
 let tick t ~us =
   require_live t;
   Simclock.advance t.clock us;
-  maybe_commit t
+  maybe_commit t;
+  maybe_scrub t
 
 let save_vam t =
   require_live t;
@@ -842,13 +934,16 @@ let boot ?params device =
     | Some n -> max n rec_info.Log.pointer_record_no
     | None -> rec_info.Log.pointer_record_no
   in
+  (* Attach the name table before the log: Log.attach moves the recovery
+     pointer, and if the name table turns out to be beyond repair the
+     caller will run the scavenger, which must still see this log. *)
+  let store = Fnt_store.attach device layout in
+  let tree = B.attach store in
   let log =
     Log.attach device layout ~boot_count
       ~next_record_no:(Int64.add base_no 1_000_000L)
       ~write_off:rec_info.Log.next_write_off ~on_enter_third:on_enter
   in
-  let store = Fnt_store.attach device layout in
-  let tree = B.attach store in
   (* VAM: with VAM logging, rebuild from the saved base plus the logged
      chunk images; otherwise trust a clean snapshot; else reconstruct
      from the name table. A mode mismatch (the volume last ran with the
@@ -917,6 +1012,9 @@ let boot ?params device =
       last_force = Simclock.now clock;
       live = true;
       vam_saved_clean = false;
+      last_scrub = Simclock.now clock;
+      scrub_page_cursor = 0;
+      scrub_key_cursor = "";
       boot_count;
       counters = mk_counters ();
     }
@@ -938,6 +1036,15 @@ let boot ?params device =
     }
   in
   (t, report)
+
+(* Boot raises on unrecoverable metadata damage (both copies of an FNT
+   page gone, anchor undecodable, …). try_boot turns that into an outcome
+   the caller can answer with the scavenger. *)
+let try_boot ?params device =
+  match boot ?params device with
+  | v -> `Ok v
+  | exception Fs_error.Fs_error (Fs_error.Corrupt_metadata m) -> `Needs_scavenge m
+  | exception Cedar_btree.Btree.Corrupt m -> `Needs_scavenge ("name table: " ^ m)
 
 let shutdown t =
   require_live t;
@@ -996,8 +1103,11 @@ let check t =
           if e.Entry.anchor >= 0 then begin
             claim k e.Entry.anchor;
             Run_table.iter_sectors e.Entry.runs (claim k);
+            let name, version =
+              match Fname.parse k with Some (n, v) -> (n, v) | None -> (k, 0)
+            in
             match read_leader t e with
-            | Some l when Leader.matches l e -> ()
+            | Some l when Leader.matches l ~name ~version e -> ()
             | Some _ -> bad := (k ^ ": leader mismatch") :: !bad
             | None -> bad := (k ^ ": leader unreadable") :: !bad
             | exception Fs_error.Fs_error _ ->

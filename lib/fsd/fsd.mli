@@ -41,6 +41,11 @@ type counters = {
   mutable vam_base_rewrites : int;
       (** VAM-logging extension: full base images written at third
           entries to retire stale chunk records *)
+  mutable scrub_passes : int;  (** scrub-demon wakeups so far *)
+  mutable scrub_fnt_repairs : int;
+      (** FNT home copies rewritten from their twin by the scrubber *)
+  mutable scrub_leader_repairs : int;
+      (** leaders rewritten from the name table by the scrubber *)
 }
 
 (** {1 Lifecycle} *)
@@ -50,7 +55,17 @@ val format : Cedar_disk.Device.t -> Params.t -> unit
 
 val boot : ?params:Params.t -> Cedar_disk.Device.t -> t * boot_report
 (** Run recovery and attach. [params] supplies runtime knobs; the
-    layout-defining fields are taken from the boot page. *)
+    layout-defining fields are taken from the boot page. Raises
+    [Fs_error Corrupt_metadata] on unrecoverable name-table damage —
+    prefer {!try_boot} when the caller can scavenge. *)
+
+val try_boot :
+  ?params:Params.t ->
+  Cedar_disk.Device.t ->
+  [ `Ok of t * boot_report | `Needs_scavenge of string ]
+(** Like {!boot}, but damage the log cannot repair (both copies of an FNT
+    page lost, an undecodable anchor) yields [`Needs_scavenge reason]
+    instead of an exception; run {!Scavenge.run} and boot again. *)
 
 val shutdown : t -> unit
 (** Controlled shutdown: force, write everything home, save the VAM. *)
@@ -111,7 +126,10 @@ val force : t -> unit
 
 val tick : t -> us:int -> unit
 (** Advance virtual time (idle workstation); fires the commit demon when
-    the interval has elapsed. *)
+    the commit interval has elapsed, and the scrub demon when the scrub
+    interval has — each scrub pass verifies a few FNT page pairs (both
+    copies, by checksum) and a few leaders, repairing lone bad copies in
+    place (counted in {!counters}). *)
 
 val save_vam : t -> unit
 (** Idle-period VAM save (valid until the next metadata mutation). *)

@@ -56,6 +56,14 @@ let name_table_report fs ppf =
     "entries: %d local, %d symlinks, %d cached remote; %d bytes of file data@."
     local links cached bytes
 
+let robustness_report fs ppf =
+  let c = Fsd.counters fs in
+  Format.fprintf ppf
+    "robustness: %d scrub passes (%d FNT copies repaired, %d leaders \
+     rewritten); %d twin repairs on read, %d FNT home writes@."
+    c.Fsd.scrub_passes c.Fsd.scrub_fnt_repairs c.Fsd.scrub_leader_repairs
+    (Fsd.fnt_repairs fs) (Fsd.fnt_home_writes fs)
+
 let free_extents fs ~lo ~hi =
   let extents = ref [] in
   let run_start = ref (-1) in
@@ -93,6 +101,7 @@ let volume_report fs =
   let ppf = Format.formatter_of_buffer buf in
   layout_report (Fsd.layout fs) ppf;
   name_table_report fs ppf;
+  robustness_report fs ppf;
   vam_report fs ppf;
   log_report (Fsd.device fs) (Fsd.layout fs) ppf;
   Format.pp_print_flush ppf ();

@@ -11,6 +11,9 @@ val log_report : Cedar_disk.Device.t -> Layout.t -> Format.formatter -> unit
 val name_table_report : Fsd.t -> Format.formatter -> unit
 (** B-tree shape (depth, pages, fill) and per-kind entry counts. *)
 
+val robustness_report : Fsd.t -> Format.formatter -> unit
+(** Scrub-demon and twin-repair counters. *)
+
 val vam_report : Fsd.t -> Format.formatter -> unit
 (** Free-space totals and the ten largest free extents per area. *)
 

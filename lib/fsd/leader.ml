@@ -1,35 +1,66 @@
 open Cedar_util
 open Cedar_fsbase
 
+type kind = Local | Cached of { server : string; last_used : int }
+
 type t = {
   uid : int64;
-  preamble : Run_table.run option;
-  run_crc : int;
+  name : string;
+  version : int;
+  keep : int;
+  byte_size : int;
   created : int;
+  runs : Run_table.t;
+  kind : kind;
 }
 
-let magic = 0x4c445231 (* "LDR1" *)
+let magic = 0x4c445232 (* "LDR2" *)
 
-let of_entry (e : Entry.t) =
+let of_entry ~name ~version (e : Entry.t) =
   {
     uid = e.Entry.uid;
-    preamble = (match Run_table.runs e.Entry.runs with [] -> None | r :: _ -> Some r);
-    run_crc = Run_table.crc e.Entry.runs;
+    name;
+    version;
+    keep = e.Entry.keep;
+    byte_size = e.Entry.byte_size;
     created = e.Entry.created;
+    runs = e.Entry.runs;
+    kind =
+      (match e.Entry.kind with
+      | Entry.Cached { server; last_used } -> Cached { server; last_used }
+      | Entry.Local | Entry.Symlink _ -> Local);
+  }
+
+let to_entry t ~anchor =
+  {
+    Entry.uid = t.uid;
+    keep = t.keep;
+    byte_size = t.byte_size;
+    created = t.created;
+    runs = t.runs;
+    anchor;
+    kind =
+      (match t.kind with
+      | Local -> Entry.Local
+      | Cached { server; last_used } -> Entry.Cached { server; last_used });
   }
 
 let encode t ~sector_bytes =
   let w = Bytebuf.Writer.create () in
   Bytebuf.Writer.u32 w magic;
   Bytebuf.Writer.u64 w t.uid;
-  (match t.preamble with
-  | None -> Bytebuf.Writer.bool w false
-  | Some r ->
-    Bytebuf.Writer.bool w true;
-    Bytebuf.Writer.u32 w r.Run_table.start;
-    Bytebuf.Writer.u32 w r.Run_table.len);
-  Bytebuf.Writer.u32 w t.run_crc;
+  Bytebuf.Writer.string w t.name;
+  Bytebuf.Writer.u32 w t.version;
+  Bytebuf.Writer.u16 w t.keep;
+  Bytebuf.Writer.i64 w t.byte_size;
   Bytebuf.Writer.i64 w t.created;
+  (match t.kind with
+  | Local -> Bytebuf.Writer.u8 w 0
+  | Cached { server; last_used } ->
+    Bytebuf.Writer.u8 w 1;
+    Bytebuf.Writer.string w server;
+    Bytebuf.Writer.i64 w last_used);
+  Run_table.encode w t.runs;
   (* Self-checksum so a torn or wild write is detectable. *)
   let body = Bytebuf.Writer.contents w in
   Bytebuf.Writer.u32 w (Crc32.bytes body);
@@ -42,27 +73,35 @@ let decode b =
     if m <> magic then None
     else begin
       let uid = Bytebuf.Reader.u64 r in
-      let preamble =
-        if Bytebuf.Reader.bool r then begin
-          let start = Bytebuf.Reader.u32 r in
-          let len = Bytebuf.Reader.u32 r in
-          Some { Run_table.start; len }
-        end
-        else None
-      in
-      let run_crc = Bytebuf.Reader.u32 r in
+      let name = Bytebuf.Reader.string r in
+      let version = Bytebuf.Reader.u32 r in
+      let keep = Bytebuf.Reader.u16 r in
+      let byte_size = Bytebuf.Reader.i64 r in
       let created = Bytebuf.Reader.i64 r in
+      let kind =
+        match Bytebuf.Reader.u8 r with
+        | 0 -> Local
+        | 1 ->
+          let server = Bytebuf.Reader.string r in
+          let last_used = Bytebuf.Reader.i64 r in
+          Cached { server; last_used }
+        | n -> raise (Bytebuf.Decode_error (Printf.sprintf "bad leader kind %d" n))
+      in
+      let runs = Run_table.decode r in
       let body_len = Bytebuf.Reader.pos r in
       let crc = Bytebuf.Reader.u32 r in
       if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
-      else Some { uid; preamble; run_crc; created }
+      else Some { uid; name; version; keep; byte_size; created; runs; kind }
     end
   with
   | v -> v
   | exception Bytebuf.Decode_error _ -> None
+  | exception Invalid_argument _ -> None
 
-let matches t (e : Entry.t) =
-  let expected = of_entry e in
-  t.uid = expected.uid && t.run_crc = expected.run_crc
-  && t.preamble = expected.preamble
-  && t.created = expected.created
+let matches t ~name ~version (e : Entry.t) =
+  Int64.equal t.uid e.Entry.uid
+  && String.equal t.name name
+  && t.version = version
+  && t.byte_size = e.Entry.byte_size
+  && t.created = e.Entry.created
+  && Run_table.equal t.runs e.Entry.runs

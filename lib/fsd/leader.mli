@@ -2,25 +2,42 @@
 
     Each FSD file has one leader page, physically preceding its first data
     page. It carries no information needed for operation — it is a
-    mutually-checking structure against the name table (uid, the preamble
-    of the run table, and a checksum of the whole run table). It is
-    verified opportunistically by piggybacking its read on the file's
-    first data access (§5.7). *)
+    mutually-checking structure against the name table, kept "to make
+    scavenging possible" (§5.1). It is verified opportunistically by
+    piggybacking its read on the file's first data access (§5.7).
+
+    The leader records the complete name-table entry — name, version,
+    properties, and the full run table — under a self-checksum, so the
+    offline scavenger ({!Scavenge}) can rebuild a file's entry from its
+    leader alone when both copies of the FNT page holding it are lost. *)
+
+type kind = Local | Cached of { server : string; last_used : int }
 
 type t = {
   uid : int64;
-  preamble : Cedar_fsbase.Run_table.run option;  (** first run of the table *)
-  run_crc : int;
+  name : string;
+  version : int;
+  keep : int;
+  byte_size : int;
   created : int;
+  runs : Cedar_fsbase.Run_table.t;  (** the data runs (leader excluded) *)
+  kind : kind;
 }
 
-val of_entry : Cedar_fsbase.Entry.t -> t
+val of_entry : name:string -> version:int -> Cedar_fsbase.Entry.t -> t
+
+val to_entry : t -> anchor:int -> Cedar_fsbase.Entry.t
+(** Rebuild the name-table entry from a leader found at sector [anchor]
+    (the scavenger's inverse of {!of_entry}). *)
 
 val encode : t -> sector_bytes:int -> bytes
 
 val decode : bytes -> t option
 (** [None] when the sector does not hold a well-formed leader. *)
 
-val matches : t -> Cedar_fsbase.Entry.t -> bool
+val matches : t -> name:string -> version:int -> Cedar_fsbase.Entry.t -> bool
 (** The §5.8 software check: does this leader corroborate the name-table
-    entry? *)
+    entry under this key? Compares uid, name, version, byte size,
+    creation time, and the whole run table. [keep] and the remote-cache
+    properties are recorded for scavenging but excluded here (they may
+    lag by one group commit). *)

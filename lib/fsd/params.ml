@@ -14,6 +14,9 @@ type t = {
   track_tolerant_log : bool;
   cpu_op_us : int;
   cpu_page_us : int;
+  scrub_interval_us : int;
+  scrub_pages_per_pass : int;
+  scrub_leaders_per_pass : int;
 }
 
 let default =
@@ -31,6 +34,9 @@ let default =
     track_tolerant_log = false;
     cpu_op_us = 8_000;
     cpu_page_us = 150;
+    scrub_interval_us = 2_000_000;
+    scrub_pages_per_pass = 4;
+    scrub_leaders_per_pass = 8;
   }
 
 let for_geometry g =
@@ -67,6 +73,9 @@ let validate g t =
   let vam_sectors = 1 + ((total + 4095) / 4096) in
   let metadata = 3 + vam_sectors + (2 * fnt_sectors) + t.log_sectors in
   if t.commit_interval_us < 0 then Error "negative commit interval"
+  else if t.scrub_interval_us < 0 then Error "negative scrub interval"
+  else if t.scrub_pages_per_pass < 0 || t.scrub_leaders_per_pass < 0 then
+    Error "negative scrub batch size"
   else if t.fnt_page_sectors < 1 || t.fnt_page_sectors > 16 then
     Error "fnt_page_sectors out of range"
   else if t.log_sectors < 3 + (3 * max_record) then

@@ -30,6 +30,11 @@ type t = {
           [sectors_per_track - 2] data sectors. Off by default. *)
   cpu_op_us : int;  (** CPU charge per metadata operation *)
   cpu_page_us : int;  (** CPU charge per page moved or scanned *)
+  scrub_interval_us : int;
+      (** online scrub demon period; each expiry while the volume idles
+          verifies a few FNT page pairs and leaders. 0 disables. *)
+  scrub_pages_per_pass : int;  (** FNT page pairs verified per pass *)
+  scrub_leaders_per_pass : int;  (** leaders verified per pass *)
 }
 
 val default : t

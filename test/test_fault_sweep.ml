@@ -216,6 +216,76 @@ let test_fnt_silent_corruption_sweep () =
     (Bytes.equal (content 900 5) (Fsd.read_all fs2 ~name:"guard"));
   check bool "check ok" true (Fsd.check fs2 = Ok ())
 
+(* ------------------------------------------------------------------ *)
+(* Silently corrupt every live metadata sector — both FNT home copies
+   and every leader — one at a time. The twin reads and the scrub demon
+   must detect and repair each without any user-visible data change. *)
+
+let test_metadata_silent_corruption_sweep () =
+  let device, fs = fresh () in
+  let files =
+    List.init 6 (fun i -> (Printf.sprintf "m/f%d" i, content (220 * (i + 1)) i))
+  in
+  List.iter (fun (name, data) -> ignore (Fsd.create fs ~name data)) files;
+  Fsd.force fs;
+  let leaders =
+    Fsd.fold_entries fs ~init:[] ~f:(fun acc ~name:_ ~version:_ e ->
+        if e.Cedar_fsbase.Entry.anchor >= 0 then e.Cedar_fsbase.Entry.anchor :: acc
+        else acc)
+  in
+  Fsd.shutdown fs;
+  let layout = Fsd.layout fs in
+  let fnt_targets = ref [] in
+  (* Only pages the table still uses: corruption in a freed page is
+     correctly ignored by everyone. *)
+  let store = Fnt_store.attach device layout in
+  let ps = layout.Layout.params.Params.fnt_page_sectors in
+  for page = 0 to layout.Layout.params.Params.fnt_pages - 1 do
+    if Fnt_store.page_in_use store page then
+      for k = 0 to ps - 1 do
+        let a = Layout.fnt_sector_a layout ~page + k in
+        let b = Layout.fnt_sector_b layout ~page + k in
+        if Device.written_ever device a then fnt_targets := a :: !fnt_targets;
+        if Device.written_ever device b then fnt_targets := b :: !fnt_targets
+      done
+  done;
+  check bool "live FNT sectors found" true (List.length !fnt_targets > 4);
+  check bool "leader sectors found" true (List.length leaders >= 6);
+  let tmp = Filename.temp_file "cedar_sweep" ".img" in
+  let oc = open_out_bin tmp in
+  Device.dump device oc;
+  close_out oc;
+  let interval = (Params.for_geometry geom).Params.scrub_interval_us in
+  let rng = Rng.create 4242 in
+  List.iter
+    (fun s ->
+      let ic = open_in_bin tmp in
+      let d = Device.load ~clock:(Simclock.create ()) ic in
+      close_in ic;
+      Device.corrupt d s ~rng;
+      let fs2, _ = Fsd.boot d in
+      (* idle: let the scrub demon cover the whole volume *)
+      for _ = 1 to 12 do
+        Fsd.tick fs2 ~us:(interval + 1)
+      done;
+      let c = Fsd.counters fs2 in
+      let repaired =
+        Fsd.fnt_repairs fs2 + c.Fsd.scrub_fnt_repairs + c.Fsd.scrub_leader_repairs
+      in
+      if repaired < 1 then
+        Alcotest.failf "sector %d: corruption never detected/repaired" s;
+      List.iter
+        (fun (name, data) ->
+          if not (Bytes.equal data (Fsd.read_all fs2 ~name)) then
+            Alcotest.failf "sector %d corrupted: %s changed" s name)
+        files;
+      (match Fsd.check fs2 with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "sector %d: check failed after repair: %s" s m);
+      Fsd.shutdown fs2)
+    (!fnt_targets @ leaders);
+  Sys.remove tmp
+
 let suite =
   [
     ("crash after every written sector", `Slow, test_crash_after_every_sector);
@@ -225,5 +295,8 @@ let suite =
       test_record_survives_any_single_or_double_damage );
     ("FNT single-sector damage sweep", `Slow, test_fnt_damage_sweep);
     ("FNT silent corruption caught", `Quick, test_fnt_silent_corruption_sweep);
+    ( "every metadata sector: silent corruption repaired",
+      `Slow,
+      test_metadata_silent_corruption_sweep );
     ("sector count sanity", `Quick, fun () -> check int "nonzero" 1 (min 1 (sectors_in_workload ())));
   ]

@@ -213,29 +213,42 @@ let sample_entry =
     ~anchor:4_999
 
 let test_leader_roundtrip () =
-  let l = Leader.of_entry sample_entry in
+  let l = Leader.of_entry ~name:"dir/sample" ~version:3 sample_entry in
   let b = Leader.encode l ~sector_bytes:512 in
   check int "one sector" 512 (Bytes.length b);
   match Leader.decode b with
   | Some l' ->
-    check bool "matches entry" true (Leader.matches l' sample_entry);
-    check bool "same" true (l = l')
+    check bool "matches entry" true
+      (Leader.matches l' ~name:"dir/sample" ~version:3 sample_entry);
+    check bool "same" true (l = l');
+    check bool "entry rebuilt" true
+      (Entry.equal (Leader.to_entry l' ~anchor:4_999) sample_entry)
   | None -> Alcotest.fail "decode failed"
 
 let test_leader_mismatch_detected () =
-  let l = Leader.of_entry sample_entry in
+  let l = Leader.of_entry ~name:"dir/sample" ~version:3 sample_entry in
   let other = { sample_entry with Entry.uid = 99L } in
-  check bool "uid mismatch" false (Leader.matches l other);
+  check bool "uid mismatch" false
+    (Leader.matches l ~name:"dir/sample" ~version:3 other);
+  check bool "name mismatch" false
+    (Leader.matches l ~name:"dir/other" ~version:3 sample_entry);
+  check bool "version mismatch" false
+    (Leader.matches l ~name:"dir/sample" ~version:4 sample_entry);
   let grown =
     { sample_entry with
       Entry.runs = Run_table.of_runs [ { Run_table.start = 5_000; len = 9 } ]
     }
   in
-  check bool "run-table change detected" false (Leader.matches l grown)
+  check bool "run-table change detected" false
+    (Leader.matches l ~name:"dir/sample" ~version:3 grown)
 
 let test_leader_garbage_rejected () =
   check bool "zeros" true (Leader.decode (Bytes.make 512 '\000') = None);
-  let b = Leader.encode (Leader.of_entry sample_entry) ~sector_bytes:512 in
+  let b =
+    Leader.encode
+      (Leader.of_entry ~name:"dir/sample" ~version:3 sample_entry)
+      ~sector_bytes:512
+  in
   Bytes.set b 9 'X';
   check bool "bitflip" true (Leader.decode b = None)
 

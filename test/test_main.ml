@@ -13,6 +13,7 @@ let () =
       ("fsd-store", Test_fsd_store.suite);
       ("fsd-vamlog", Test_fsd_vamlog.suite);
       ("fault-sweep", Test_fault_sweep.suite);
+      ("scavenge", Test_scavenge.suite);
       ("properties", Test_props.suite);
       ("negative", Test_negative.suite);
       ("workload", Test_workload.suite);

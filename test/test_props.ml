@@ -188,10 +188,10 @@ let prop_leader_matches_entry =
     (QCheck.make entry_gen)
     (fun e ->
       let open Cedar_fsd in
-      let l = Leader.of_entry e in
+      let l = Leader.of_entry ~name:"prop/file" ~version:7 e in
       let b = Leader.encode l ~sector_bytes:512 in
       match Leader.decode b with
-      | Some l' -> Leader.matches l' e
+      | Some l' -> Leader.matches l' ~name:"prop/file" ~version:7 e
       | None -> false)
 
 (* ------------------------------------------------------------------ *)
