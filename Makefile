@@ -1,0 +1,24 @@
+# Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
+# with zero warnings plus the full test suite — before any PR lands.
+
+.PHONY: all check build test bench fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+# Requires ocamlformat (not vendored in the container); no-op without it.
+fmt:
+	-dune fmt
+
+clean:
+	dune clean

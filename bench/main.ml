@@ -8,7 +8,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|all] [--micro]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|all] [--micro]";
   exit 2
 
 let () =
@@ -35,6 +35,7 @@ let () =
     | "vam-logging" -> Bench_tables.vam_logging ()
     | "log-size" -> Bench_tables.log_size ()
     | "fragmentation" -> Bench_tables.fragmentation ()
+    | "obs-json" -> Obs_json.run ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()
   in

@@ -11,6 +11,8 @@
      cedar crash vol.img                 mark the volume as not shut down
      cedar recover vol.img               boot (FSD: log replay; CFS: scavenge)
      cedar scavenge vol.img              rebuild metadata from leader pages
+     cedar stats vol.img [--json]        per-op I/O + log tables (Tables 2-4)
+     cedar trace vol.img [--limit N]     dump the event trace of a scripted run
 
    Mutating commands shut the file system down cleanly before saving the
    image; [crash] deliberately skips that, so the next boot exercises
@@ -257,6 +259,86 @@ let cmd_scavenge path =
   save_device device path
 
 (* ------------------------------------------------------------------ *)
+(* Observability: stats / trace replay the fixed scripted workload     *)
+
+module Obs = Cedar_obs
+module Script = Cedar_workload.Obs_script
+
+let counters_of = function
+  | Fsd_vol fs -> Some (Cedar_fsd.Fsd.counters_json fs)
+  | Cfs_vol _ -> None
+
+(* Run the scripted workload with tracing on; the volume is NOT saved,
+   so the image on disk is untouched by the measurement files. *)
+let cmd_stats path json =
+  with_volume ~save:false path (fun vol ->
+      let ops = ops_of vol in
+      let device = ops.Cedar_fsbase.Fs_ops.device in
+      Script.warmup ops;
+      let tr = Device.trace device in
+      Obs.Trace.enable tr;
+      Script.scripted ops;
+      Obs.Trace.disable tr;
+      let entries = Obs.Trace.to_list tr in
+      let per_op = Obs.Tables.per_op entries in
+      let log = Obs.Tables.log_activity entries in
+      let sector_bytes = (Device.geometry device).Geometry.sector_bytes in
+      if json then begin
+        let obj =
+          Obs.Jsonb.Obj
+            ([
+               ( "workload",
+                 Obs.Jsonb.Obj
+                   [
+                     ("files", Obs.Jsonb.Int Script.n);
+                     ("bytes_each", Obs.Jsonb.Int Script.bytes_each);
+                   ] );
+               ("per_op", Obs.Tables.per_op_json per_op);
+               ("log", Obs.Tables.log_json ~sector_bytes log);
+               ("metrics", Obs.Metrics.to_json (Device.metrics device));
+               ("iostats", Iostats.to_json (Device.stats device));
+             ]
+            @
+            match counters_of vol with
+            | Some c -> [ ("fsd_counters", c) ]
+            | None -> [])
+        in
+        print_endline (Obs.Jsonb.to_string_pretty obj)
+      end
+      else begin
+        Printf.printf
+          "scripted workload: %d files of %d bytes under %s/ (create, force, \
+           open, read, list, delete, force)\n\n"
+          Script.n Script.bytes_each Script.dir;
+        Format.printf "%a@.@." Obs.Tables.pp_per_op per_op;
+        Format.printf "%a@.@." Obs.Tables.pp_log log;
+        Format.printf "%a@." Obs.Metrics.pp (Device.metrics device)
+      end)
+
+(* Tracing is enabled BEFORE boot so recovery-phase and VAM-rebuild
+   events are captured too. *)
+let cmd_trace path limit =
+  guard @@ fun () ->
+  let device = load_device path in
+  Obs.Trace.enable (Device.trace device);
+  let vol = boot_vol device in
+  let ops = ops_of vol in
+  Script.warmup ops;
+  Script.scripted ops;
+  let tr = Device.trace device in
+  let entries = Obs.Trace.to_list tr in
+  let entries =
+    match limit with
+    | None -> entries
+    | Some n ->
+      let len = List.length entries in
+      List.filteri (fun i _ -> i >= len - n) entries
+  in
+  List.iter (fun e -> Format.printf "%a@." Obs.Trace.pp_entry e) entries;
+  Printf.printf "(%d entries buffered, %d dropped)\n" (Obs.Trace.length tr)
+    (Obs.Trace.dropped tr)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 
 open Cmdliner
@@ -321,6 +403,31 @@ let scavenge_cmd =
        ~doc:"rebuild volume metadata from leader pages (survives total name-table loss)")
     Term.(const cmd_scavenge $ img)
 
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit one JSON object instead of tables")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "run the fixed scripted workload with tracing on and print per-op I/O \
+          and log-activity tables (the image is not modified)")
+    Term.(const cmd_stats $ img $ json)
+
+let trace_cmd =
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"print only the last $(docv) entries")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "boot with tracing enabled (capturing recovery events), run the \
+          scripted workload and dump the event trace")
+    Term.(const cmd_trace $ img $ limit)
+
 let () =
   let doc = "simulated Cedar file-system volumes (Hagmann, SOSP 1987)" in
   exit
@@ -337,4 +444,6 @@ let () =
             crash_cmd;
             recover_cmd;
             scavenge_cmd;
+            stats_cmd;
+            trace_cmd;
           ]))

@@ -241,6 +241,7 @@ type t = {
   opened : (string, Header.t * int) Hashtbl.t; (* key -> header, sector *)
   mutable next_uid : int64;
   mutable live : bool;
+  ops_c : Cedar_obs.Metrics.counter;
 }
 
 let layout t = t.layout
@@ -250,8 +251,28 @@ let drop_open_cache t = Hashtbl.reset t.opened
 
 let sector_bytes t = t.layout.Cfs_layout.geom.Geometry.sector_bytes
 let cpu t us = Simclock.advance t.clock us
-let op_cpu t = cpu t t.layout.Cfs_layout.params.Cfs_layout.cpu_op_us
+
+let op_cpu t =
+  Cedar_obs.Metrics.inc t.ops_c;
+  cpu t t.layout.Cfs_layout.params.Cfs_layout.cpu_op_us
+
 let require_live t = if not t.live then Fs_error.raise_ Fs_error.Not_booted
+
+(* Span wrapper matching Fsd's, so the per-op I/O tables line up across
+   the three systems. Single-branch no-op while tracing is disabled. *)
+let traced t ~op ~name f =
+  let tr = Device.trace t.device in
+  if not (Cedar_obs.Trace.enabled tr) then f ()
+  else begin
+    let id = Cedar_obs.Trace.begin_span tr ~at:(Simclock.now t.clock) ~op ~name in
+    match f () with
+    | v ->
+      Cedar_obs.Trace.end_span tr ~at:(Simclock.now t.clock) id;
+      v
+    | exception e ->
+      Cedar_obs.Trace.end_span tr ~at:(Simclock.now t.clock) id;
+      raise e
+  end
 
 let fresh_uid t =
   let uid = t.next_uid in
@@ -389,6 +410,7 @@ let format device params =
       opened = Hashtbl.create 8;
       next_uid = 1L;
       live = true;
+      ops_c = Cedar_obs.Metrics.counter (Device.metrics device) "cfs.ops";
     }
   in
   save_vam tmp;
@@ -633,12 +655,14 @@ let create_common t ~name ~keep ~kind data =
   info_of name version h
 
 let create t ~name ?(keep = 2) data =
-  create_common t ~name ~keep ~kind:Header.Local data
+  traced t ~op:"create" ~name (fun () ->
+      create_common t ~name ~keep ~kind:Header.Local data)
 
 let import_cached t ~name ~server data =
-  create_common t ~name ~keep:2
-    ~kind:(Header.Cached { server; last_used = Simclock.now t.clock })
-    data
+  traced t ~op:"import" ~name (fun () ->
+      create_common t ~name ~keep:2
+        ~kind:(Header.Cached { server; last_used = Simclock.now t.clock })
+        data)
 
 let create_symlink t ~name ~target =
   require_live t;
@@ -682,6 +706,7 @@ let last_used t ~name =
   | Header.Local -> None
 
 let open_stat t ~name =
+  traced t ~op:"open" ~name @@ fun () ->
   require_live t;
   let _, version, h, _ = open_header t name in
   op_cpu t;
@@ -707,6 +732,7 @@ let read_runs t (h : Header.t) buf =
     (Run_table.runs h.Header.runs)
 
 let read_all t ~name =
+  traced t ~op:"read_all" ~name @@ fun () ->
   require_live t;
   let _, _, h, _ = open_header t name in
   let sb = sector_bytes t in
@@ -721,6 +747,7 @@ let read_all t ~name =
   Bytes.sub buf 0 h.Header.byte_size
 
 let read_page t ~name ~page =
+  traced t ~op:"read_page" ~name @@ fun () ->
   require_live t;
   let _, _, h, _ = open_header t name in
   if page < 0 || page >= Run_table.pages h.Header.runs then
@@ -736,6 +763,7 @@ let read_page t ~name ~page =
     corrupt (Printf.sprintf "stale run table for %s at sector %d" name sector)
 
 let write_page t ~name ~page data =
+  traced t ~op:"write_page" ~name @@ fun () ->
   require_live t;
   let _, _, h, _ = open_header t name in
   if page < 0 || page >= Run_table.pages h.Header.runs then
@@ -746,6 +774,7 @@ let write_page t ~name ~page data =
   Device.verified_write t.device sector ~expect data
 
 let delete t ~name =
+  traced t ~op:"delete" ~name @@ fun () ->
   require_live t;
   let _, version, raw = newest_exn t name in
   let pages =
@@ -766,6 +795,7 @@ let delete t ~name =
   cpu t (pages * t.layout.Cfs_layout.params.Cfs_layout.cpu_page_us / 2)
 
 let list t ~prefix =
+  traced t ~op:"list" ~name:prefix @@ fun () ->
   require_live t;
   (* The name table has only names and header addresses; properties such
      as the byte count require reading each header (Table 3's 146 I/Os
@@ -810,18 +840,26 @@ let list t ~prefix =
 (* Lifecycle                                                           *)
 
 let mk_live device layout store vam =
-  {
-    device;
-    clock = Device.clock device;
-    layout;
-    store;
-    tree = B.attach store;
-    vam;
-    hint = layout.Cfs_layout.data_lo;
-    opened = Hashtbl.create 64;
-    next_uid = Int64.add store.Direct_store.anchor.Direct_store.uid_hint 1_000_000L;
-    live = true;
-  }
+  let m = Device.metrics device in
+  let t =
+    {
+      device;
+      clock = Device.clock device;
+      layout;
+      store;
+      tree = B.attach store;
+      vam;
+      hint = layout.Cfs_layout.data_lo;
+      opened = Hashtbl.create 64;
+      next_uid = Int64.add store.Direct_store.anchor.Direct_store.uid_hint 1_000_000L;
+      live = true;
+      ops_c = Cedar_obs.Metrics.counter m "cfs.ops";
+    }
+  in
+  Cedar_obs.Metrics.gauge m "cfs.nt_page_writes" (fun () ->
+      store.Direct_store.page_writes);
+  Cedar_obs.Metrics.gauge m "cfs.open_headers" (fun () -> Hashtbl.length t.opened);
+  t
 
 let boot device =
   match read_boot device with

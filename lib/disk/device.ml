@@ -7,6 +7,9 @@ type fault_kind =
 exception Error of { sector : int; kind : fault_kind }
 exception Crash_during_write of { sector : int }
 
+module Trace = Cedar_obs.Trace
+module Metrics = Cedar_obs.Metrics
+
 type t = {
   geom : Geometry.t;
   clock : Simclock.t;
@@ -14,19 +17,37 @@ type t = {
   labels : (int, Label.t) Hashtbl.t; (* absent = Label.free *)
   damaged : (int, unit) Hashtbl.t;
   stats : Iostats.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
   mutable head_cyl : int;
   mutable write_crash : (int * int) option; (* sectors until trigger, tail *)
   mutable observer : (rw:[ `R | `W ] -> sector:int -> count:int -> unit) option;
 }
 
-let create ~clock geom =
+let register_gauges metrics (s : Iostats.t) =
+  Metrics.gauge metrics "device.ios" (fun () -> s.Iostats.ios);
+  Metrics.gauge metrics "device.reads" (fun () -> s.Iostats.reads);
+  Metrics.gauge metrics "device.writes" (fun () -> s.Iostats.writes);
+  Metrics.gauge metrics "device.sectors_read" (fun () -> s.Iostats.sectors_read);
+  Metrics.gauge metrics "device.sectors_written" (fun () -> s.Iostats.sectors_written);
+  Metrics.gauge metrics "device.label_ops" (fun () -> s.Iostats.label_ops);
+  Metrics.gauge metrics "device.seeks" (fun () -> s.Iostats.seeks);
+  Metrics.gauge metrics "device.busy_us" (fun () -> s.Iostats.busy_us)
+
+let create ?trace ?metrics ~clock geom =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let stats = Iostats.create () in
+  register_gauges metrics stats;
   {
     geom;
     clock;
     data = Hashtbl.create 4096;
     labels = Hashtbl.create 4096;
     damaged = Hashtbl.create 16;
-    stats = Iostats.create ();
+    stats;
+    trace;
+    metrics;
     head_cyl = 0;
     write_crash = None;
     observer = None;
@@ -35,6 +56,8 @@ let create ~clock geom =
 let geometry t = t.geom
 let clock t = t.clock
 let stats t = t.stats
+let trace t = t.trace
+let metrics t = t.metrics
 
 let check_sector t s =
   if s < 0 || s >= Geometry.total_sectors t.geom then
@@ -57,7 +80,10 @@ let position t ~sector ~count ~charge_transfer =
   let seek = Geometry.seek_us g dist in
   if dist > 0 then begin
     t.stats.seeks <- t.stats.seeks + 1;
-    t.stats.seek_us <- t.stats.seek_us + seek
+    t.stats.seek_us <- t.stats.seek_us + seek;
+    if Trace.enabled t.trace then
+      Trace.emit t.trace ~at:(Simclock.now t.clock)
+        (Trace.Dev_seek { cylinders = dist; us = seek })
   end;
   Simclock.advance t.clock seek;
   t.head_cyl <- chs.cyl;
@@ -95,17 +121,25 @@ let position t ~sector ~count ~charge_transfer =
   else t.stats.busy_us <- t.stats.busy_us + seek + latency
 
 let charge_read t ~sector ~count =
+  let t0 = Simclock.now t.clock in
   position t ~sector ~count ~charge_transfer:true;
   t.stats.ios <- t.stats.ios + 1;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.sectors_read <- t.stats.sectors_read + count;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~at:t0
+      (Trace.Dev_read { sector; count; us = Simclock.now t.clock - t0 });
   match t.observer with Some f -> f ~rw:`R ~sector ~count | None -> ()
 
 let charge_write t ~sector ~count =
+  let t0 = Simclock.now t.clock in
   position t ~sector ~count ~charge_transfer:true;
   t.stats.ios <- t.stats.ios + 1;
   t.stats.writes <- t.stats.writes + 1;
   t.stats.sectors_written <- t.stats.sectors_written + count;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~at:t0
+      (Trace.Dev_write { sector; count; us = Simclock.now t.clock - t0 });
   match t.observer with Some f -> f ~rw:`W ~sector ~count | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -345,7 +379,7 @@ let dump t oc =
   let b = Bytebuf.Writer.contents w in
   output_bytes oc b
 
-let load ~clock ic =
+let load ?trace ?metrics ~clock ic =
   let len = in_channel_length ic in
   let b = Bytes.create len in
   really_input ic b 0 len;
@@ -373,7 +407,7 @@ let load ~clock ic =
       head_switch_us;
     }
   in
-  let t = create ~clock geom in
+  let t = create ?trace ?metrics ~clock geom in
   let ndata = Bytebuf.Reader.u32 r in
   for _ = 1 to ndata do
     let s = Bytebuf.Reader.u32 r in

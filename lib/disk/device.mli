@@ -24,10 +24,30 @@ exception Crash_during_write of { sector : int }
 (** Raised when an injected write fault fires; the test harness treats this
     as the machine halting mid-write. *)
 
-val create : clock:Cedar_util.Simclock.t -> Geometry.t -> t
+val create :
+  ?trace:Cedar_obs.Trace.t ->
+  ?metrics:Cedar_obs.Metrics.t ->
+  clock:Cedar_util.Simclock.t ->
+  Geometry.t ->
+  t
+(** A fresh trace (disabled) and metrics registry are created unless
+    supplied; the device registers its [Iostats] fields as
+    ["device.*"] gauges in the registry. Higher layers share the
+    device's trace and registry via {!trace} / {!metrics}. *)
+
 val geometry : t -> Geometry.t
 val clock : t -> Cedar_util.Simclock.t
 val stats : t -> Iostats.t
+
+val trace : t -> Cedar_obs.Trace.t
+(** The volume-wide event trace. Disabled (and allocation-free on the
+    I/O path) until [Trace.enable]; every device command then emits a
+    [Dev_read]/[Dev_write] event carrying its simulated latency, plus
+    [Dev_seek] for arm movement. *)
+
+val metrics : t -> Cedar_obs.Metrics.t
+(** The volume-wide metrics registry; every layer above registers its
+    instruments here. *)
 
 (** {1 Plain sector I/O (used by FSD and the BSD baseline)} *)
 
@@ -106,4 +126,10 @@ val written_ever : t -> int -> bool
 (** {1 Persistence (CLI disk images)} *)
 
 val dump : t -> out_channel -> unit
-val load : clock:Cedar_util.Simclock.t -> in_channel -> t
+
+val load :
+  ?trace:Cedar_obs.Trace.t ->
+  ?metrics:Cedar_obs.Metrics.t ->
+  clock:Cedar_util.Simclock.t ->
+  in_channel ->
+  t

@@ -70,6 +70,22 @@ let reset t =
   t.transfer_us <- 0;
   t.busy_us <- 0
 
+let to_json t =
+  Cedar_obs.Jsonb.Obj
+    [
+      ("ios", Cedar_obs.Jsonb.Int t.ios);
+      ("reads", Cedar_obs.Jsonb.Int t.reads);
+      ("writes", Cedar_obs.Jsonb.Int t.writes);
+      ("sectors_read", Cedar_obs.Jsonb.Int t.sectors_read);
+      ("sectors_written", Cedar_obs.Jsonb.Int t.sectors_written);
+      ("label_ops", Cedar_obs.Jsonb.Int t.label_ops);
+      ("seeks", Cedar_obs.Jsonb.Int t.seeks);
+      ("seek_us", Cedar_obs.Jsonb.Int t.seek_us);
+      ("rotation_us", Cedar_obs.Jsonb.Int t.rotation_us);
+      ("transfer_us", Cedar_obs.Jsonb.Int t.transfer_us);
+      ("busy_us", Cedar_obs.Jsonb.Int t.busy_us);
+    ]
+
 let pp ppf t =
   Format.fprintf ppf
     "ios=%d (r=%d w=%d) sectors r=%d w=%d labels=%d seeks=%d busy=%.1fms (seek %.1f rot %.1f xfer %.1f)"

@@ -28,3 +28,7 @@ val diff : after:t -> before:t -> t
 val add_into : dst:t -> t -> unit
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Cedar_obs.Jsonb.t
+(** Machine-readable counterpart of {!pp}, used by [cedar stats] and
+    the bench table emitter. *)

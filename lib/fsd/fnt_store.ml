@@ -199,15 +199,21 @@ let scrub_page t page =
 (* Construction                                                        *)
 
 let mk device layout anchor =
-  {
-    device;
-    layout;
-    cache = Lru.create ~capacity:layout.Layout.params.Params.cache_pages;
-    anchor;
-    note_dirty = (fun _ -> ());
-    home_writes = 0;
-    repairs = 0;
-  }
+  let t =
+    {
+      device;
+      layout;
+      cache = Lru.create ~capacity:layout.Layout.params.Params.cache_pages;
+      anchor;
+      note_dirty = (fun _ -> ());
+      home_writes = 0;
+      repairs = 0;
+    }
+  in
+  let m = Device.metrics device in
+  Cedar_obs.Metrics.gauge m "fnt.home_writes" (fun () -> t.home_writes);
+  Cedar_obs.Metrics.gauge m "fnt.repairs" (fun () -> t.repairs);
+  t
 
 let create_fresh device layout =
   let map = Bitmap.create layout.Layout.params.Params.fnt_pages in
@@ -331,6 +337,11 @@ let mark_logged t pages ~third =
 
 let home_write t page c =
   write_home_image t.device t.layout ~page (frame t.layout ~page c.payload);
+  let tr = Device.trace t.device in
+  if Cedar_obs.Trace.enabled tr then
+    Cedar_obs.Trace.emit tr
+      ~at:(Simclock.now (Device.clock t.device))
+      (Cedar_obs.Trace.Fnt_write_twice { page });
   t.home_writes <- t.home_writes + 1;
   c.dirty <- false;
   c.third <- None;

@@ -3,6 +3,8 @@ open Cedar_disk
 open Cedar_fsbase
 
 module B = Cedar_btree.Btree.Make (Fnt_store)
+module Trace = Cedar_obs.Trace
+module Metrics = Cedar_obs.Metrics
 
 type vam_source = Vam_loaded | Vam_reconstructed | Vam_replayed
 
@@ -30,6 +32,22 @@ type counters = {
   mutable scrub_leader_repairs : int;
 }
 
+(* Registry-backed counter handles; registered (fresh, zeroed) on every
+   boot under "fsd.*" names, which preserves the historical per-boot
+   reset semantics of the [counters] snapshot. *)
+type meters = {
+  m_ops : Metrics.counter;
+  m_forces : Metrics.counter;
+  m_empty_forces : Metrics.counter;
+  m_leader_piggybacks : Metrics.counter;
+  m_leader_home_writes : Metrics.counter;
+  m_vam_base_rewrites : Metrics.counter;
+  m_scrub_passes : Metrics.counter;
+  m_scrub_fnt_repairs : Metrics.counter;
+  m_scrub_leader_repairs : Metrics.counter;
+  m_op_us : Stats.t;  (** virtual latency per FSD operation *)
+}
+
 type pending_leader = { image : bytes; mutable logged_third : int option }
 
 type t = {
@@ -51,25 +69,58 @@ type t = {
   mutable scrub_page_cursor : int; (* next FNT page pair to verify *)
   mutable scrub_key_cursor : string; (* next name-table key whose leader to verify *)
   boot_count : int;
-  counters : counters;
+  meters : meters;
 }
 
-let mk_counters () =
+let mk_meters reg =
   {
-    ops = 0;
-    forces = 0;
-    empty_forces = 0;
-    leader_piggybacks = 0;
-    leader_home_writes = 0;
-    vam_base_rewrites = 0;
-    scrub_passes = 0;
-    scrub_fnt_repairs = 0;
-    scrub_leader_repairs = 0;
+    m_ops = Metrics.counter reg "fsd.ops";
+    m_forces = Metrics.counter reg "fsd.forces";
+    m_empty_forces = Metrics.counter reg "fsd.empty_forces";
+    m_leader_piggybacks = Metrics.counter reg "fsd.leader_piggybacks";
+    m_leader_home_writes = Metrics.counter reg "fsd.leader_home_writes";
+    m_vam_base_rewrites = Metrics.counter reg "fsd.vam_base_rewrites";
+    m_scrub_passes = Metrics.counter reg "fsd.scrub_passes";
+    m_scrub_fnt_repairs = Metrics.counter reg "fsd.scrub_fnt_repairs";
+    m_scrub_leader_repairs = Metrics.counter reg "fsd.scrub_leader_repairs";
+    m_op_us = Metrics.dist reg "fsd.op_us";
   }
 
 let layout t = t.layout
 let device t = t.device
-let counters t = t.counters
+let trace t = Device.trace t.device
+let metrics t = Device.metrics t.device
+
+(* Compatibility view over the registry handles: a fresh snapshot record
+   per call, zeroed at boot like the old bespoke struct was. *)
+let counters t =
+  let v = Metrics.counter_value in
+  {
+    ops = v t.meters.m_ops;
+    forces = v t.meters.m_forces;
+    empty_forces = v t.meters.m_empty_forces;
+    leader_piggybacks = v t.meters.m_leader_piggybacks;
+    leader_home_writes = v t.meters.m_leader_home_writes;
+    vam_base_rewrites = v t.meters.m_vam_base_rewrites;
+    scrub_passes = v t.meters.m_scrub_passes;
+    scrub_fnt_repairs = v t.meters.m_scrub_fnt_repairs;
+    scrub_leader_repairs = v t.meters.m_scrub_leader_repairs;
+  }
+
+let counters_json t =
+  let c = counters t in
+  Cedar_obs.Jsonb.Obj
+    [
+      ("ops", Cedar_obs.Jsonb.Int c.ops);
+      ("forces", Cedar_obs.Jsonb.Int c.forces);
+      ("empty_forces", Cedar_obs.Jsonb.Int c.empty_forces);
+      ("leader_piggybacks", Cedar_obs.Jsonb.Int c.leader_piggybacks);
+      ("leader_home_writes", Cedar_obs.Jsonb.Int c.leader_home_writes);
+      ("vam_base_rewrites", Cedar_obs.Jsonb.Int c.vam_base_rewrites);
+      ("scrub_passes", Cedar_obs.Jsonb.Int c.scrub_passes);
+      ("scrub_fnt_repairs", Cedar_obs.Jsonb.Int c.scrub_fnt_repairs);
+      ("scrub_leader_repairs", Cedar_obs.Jsonb.Int c.scrub_leader_repairs);
+    ]
 let log_stats t = Log.stats t.log
 let fnt_home_writes t = Fnt_store.home_writes t.store
 let fnt_repairs t = Fnt_store.repairs t.store
@@ -83,6 +134,28 @@ let sector_bytes t = t.layout.Layout.geom.Geometry.sector_bytes
 let now t = Simclock.now t.clock
 let cpu t us = Simclock.advance t.clock us
 let require_live t = if not t.live then Fs_error.raise_ Fs_error.Not_booted
+
+let emit t ev =
+  let tr = Device.trace t.device in
+  if Trace.enabled tr then Trace.emit tr ~at:(now t) ev
+
+(* Wrap a public operation in a trace span so the device I/Os it issues
+   nest under it. The disabled case is the single-branch hot path. *)
+let traced t ~op ~name f =
+  let tr = Device.trace t.device in
+  if not (Trace.enabled tr) then f ()
+  else begin
+    let t0 = now t in
+    let id = Trace.begin_span tr ~at:t0 ~op ~name in
+    match f () with
+    | v ->
+      Stats.add t.meters.m_op_us (float_of_int (now t - t0));
+      Trace.end_span tr ~at:(now t) id;
+      v
+    | exception e ->
+      Trace.end_span tr ~at:(now t) id;
+      raise e
+  end
 
 let corrupt msg = Fs_error.raise_ (Fs_error.Corrupt_metadata msg)
 
@@ -103,7 +176,7 @@ let handle_enter_third t j =
   List.iter
     (fun (sector, pl) ->
       Device.write t.device sector pl.image;
-      t.counters.leader_home_writes <- t.counters.leader_home_writes + 1;
+      Metrics.inc t.meters.m_leader_home_writes;
       Hashtbl.remove t.pending_leaders sector)
     !due;
   if t.params.Params.log_vam && Hashtbl.fold (fun _ th acc -> acc || th = j) t.chunk_thirds false
@@ -114,7 +187,7 @@ let handle_enter_third t j =
     Vam.save ~mode:Vam.Log_based ~epoch:(Log.next_record_no t.log) (Alloc.vam t.alloc)
       t.device;
     Hashtbl.reset t.chunk_thirds;
-    t.counters.vam_base_rewrites <- t.counters.vam_base_rewrites + 1
+    Metrics.inc t.meters.m_vam_base_rewrites
   end
 
 let max_data_sectors t =
@@ -140,7 +213,7 @@ let note_logged t batch ~third =
       | Log.Fnt_page _ -> ())
     batch
 
-let force t =
+let do_force t =
   require_live t;
   let pages = Fnt_store.pages_to_log t.store in
   let leaders =
@@ -150,7 +223,8 @@ let force t =
   in
   if pages = [] && leaders = [] then begin
     assert (Vam.shadow_count (Alloc.vam t.alloc) = 0);
-    t.counters.empty_forces <- t.counters.empty_forces + 1;
+    Metrics.inc t.meters.m_empty_forces;
+    emit t (Trace.Log_force { units = 0; empty = true });
     t.last_force <- now t
   end
   else begin
@@ -212,9 +286,12 @@ let force t =
       in
       pack [] 0 units
     end;
-    t.counters.forces <- t.counters.forces + 1;
+    Metrics.inc t.meters.m_forces;
+    emit t (Trace.Log_force { units = List.length units; empty = false });
     t.last_force <- now t
   end
+
+let force t = traced t ~op:"force" ~name:"" (fun () -> do_force t)
 
 (* Force early when the pending batch approaches one record, so a single
    force stays a single atomic log write ("the log is forced long before
@@ -344,7 +421,8 @@ let read_file_bytes t name version (e : Entry.t) =
          let combined =
            Device.read_run t.device ~sector:e.Entry.anchor ~count:(1 + first.Run_table.len)
          in
-         t.counters.leader_piggybacks <- t.counters.leader_piggybacks + 1;
+         Metrics.inc t.meters.m_leader_piggybacks;
+         emit t (Trace.Leader_piggyback { sector = e.Entry.anchor });
          let leader = Leader.decode (Bytes.sub combined 0 sb) in
          check_leader t name version e leader;
          Bytes.blit combined sb buf 0 (first.Run_table.len * sb);
@@ -370,7 +448,7 @@ let read_file_bytes t name version (e : Entry.t) =
 (* Operations                                                          *)
 
 let op_done t ?(pages = 0) () =
-  t.counters.ops <- t.counters.ops + 1;
+  Metrics.inc t.meters.m_ops;
   cpu t (t.params.Params.cpu_op_us + (pages * t.params.Params.cpu_page_us));
   maybe_commit t
 
@@ -484,28 +562,34 @@ let create_common t ~name ~keep ~data_pages ~byte_size ~kind data_opt =
   info_of name version entry
 
 let create t ~name ?keep data =
-  let keep = Option.value keep ~default:t.params.Params.default_keep in
-  let sb = sector_bytes t in
-  let byte_size = Bytes.length data in
-  let data_pages = max 1 ((byte_size + sb - 1) / sb) in
-  create_common t ~name ~keep ~data_pages ~byte_size ~kind:Entry.Local (Some data)
+  traced t ~op:"create" ~name (fun () ->
+      let keep = Option.value keep ~default:t.params.Params.default_keep in
+      let sb = sector_bytes t in
+      let byte_size = Bytes.length data in
+      let data_pages = max 1 ((byte_size + sb - 1) / sb) in
+      create_common t ~name ~keep ~data_pages ~byte_size ~kind:Entry.Local
+        (Some data))
 
 let create_empty t ~name ?keep ~pages () =
   if pages < 0 then invalid_arg "Fsd.create_empty";
-  let keep = Option.value keep ~default:t.params.Params.default_keep in
-  let sb = sector_bytes t in
-  create_common t ~name ~keep ~data_pages:pages ~byte_size:(pages * sb)
-    ~kind:Entry.Local None
+  traced t ~op:"create_empty" ~name (fun () ->
+      let keep = Option.value keep ~default:t.params.Params.default_keep in
+      let sb = sector_bytes t in
+      create_common t ~name ~keep ~data_pages:pages ~byte_size:(pages * sb)
+        ~kind:Entry.Local None)
 
 let import_cached t ~name ~server data =
-  let sb = sector_bytes t in
-  let byte_size = Bytes.length data in
-  let data_pages = max 1 ((byte_size + sb - 1) / sb) in
-  create_common t ~name ~keep:t.params.Params.default_keep ~data_pages ~byte_size
-    ~kind:(Entry.Cached { server; last_used = now t })
-    (Some data)
+  traced t ~op:"import" ~name (fun () ->
+      let sb = sector_bytes t in
+      let byte_size = Bytes.length data in
+      let data_pages = max 1 ((byte_size + sb - 1) / sb) in
+      create_common t ~name ~keep:t.params.Params.default_keep ~data_pages
+        ~byte_size
+        ~kind:(Entry.Cached { server; last_used = now t })
+        (Some data))
 
 let create_symlink t ~name ~target =
+  traced t ~op:"symlink" ~name @@ fun () ->
   require_live t;
   validate_name name;
   let uid = Fnt_store.fresh_uid t.store in
@@ -526,18 +610,21 @@ let create_symlink t ~name ~target =
   op_done t ()
 
 let open_stat t ~name =
+  traced t ~op:"open" ~name @@ fun () ->
   require_live t;
   let _, version, e = newest_exn t name in
   op_done t ();
   info_of name version e
 
 let exists t ~name =
+  traced t ~op:"exists" ~name @@ fun () ->
   require_live t;
   let r = newest t name <> None in
   op_done t ();
   r
 
 let readlink t ~name =
+  traced t ~op:"readlink" ~name @@ fun () ->
   require_live t;
   let _, _, e = newest_exn t name in
   op_done t ();
@@ -555,9 +642,11 @@ let rec read_all_depth t ~name ~depth =
     op_done t ~pages:(Run_table.pages e.Entry.runs) ();
     bytes
 
-let read_all t ~name = read_all_depth t ~name ~depth:0
+let read_all t ~name =
+  traced t ~op:"read_all" ~name (fun () -> read_all_depth t ~name ~depth:0)
 
 let read_page t ~name ~page =
+  traced t ~op:"read_page" ~name @@ fun () ->
   require_live t;
   let _, version, e = newest_exn t name in
   let npages = Run_table.pages e.Entry.runs in
@@ -575,7 +664,8 @@ let read_page t ~name ~page =
         (* §5.7: the leader is the previous physical page; verifying it
            costs only one extra sector of transfer. *)
         let combined = Device.read_run t.device ~sector:e.Entry.anchor ~count:2 in
-        t.counters.leader_piggybacks <- t.counters.leader_piggybacks + 1;
+        Metrics.inc t.meters.m_leader_piggybacks;
+        emit t (Trace.Leader_piggyback { sector = e.Entry.anchor });
         check_leader t name version e (Leader.decode (Bytes.sub combined 0 sb));
         Bytes.sub combined sb sb
       end
@@ -590,6 +680,7 @@ let read_page t ~name ~page =
   result
 
 let write_page t ~name ~page data =
+  traced t ~op:"write_page" ~name @@ fun () ->
   require_live t;
   let _, _, e = newest_exn t name in
   let npages = Run_table.pages e.Entry.runs in
@@ -604,8 +695,9 @@ let update_entry t ~key (e : Entry.t) =
   | None -> ()
 
 let extend t ~name ~pages =
-  require_live t;
   if pages <= 0 then invalid_arg "Fsd.extend";
+  traced t ~op:"extend" ~name @@ fun () ->
+  require_live t;
   let key, _, e = newest_exn t name in
   spoil_saved_vam t;
   let small = Run_table.pages e.Entry.runs + pages <= 8 in
@@ -630,8 +722,9 @@ let extend t ~name ~pages =
   op_done t ()
 
 let contract t ~name ~pages =
-  require_live t;
   if pages < 0 then invalid_arg "Fsd.contract";
+  traced t ~op:"contract" ~name @@ fun () ->
+  require_live t;
   let key, _, e = newest_exn t name in
   let current = Run_table.pages e.Entry.runs in
   if pages > current then Fs_error.raise_ (Fs_error.Bad_page { name; page = pages });
@@ -646,6 +739,7 @@ let contract t ~name ~pages =
   op_done t ()
 
 let delete t ~name =
+  traced t ~op:"delete" ~name @@ fun () ->
   require_live t;
   let _, version, e = newest_exn t name in
   delete_version_unchecked t name version;
@@ -653,14 +747,16 @@ let delete t ~name =
   op_done t ~pages:(Run_table.pages e.Entry.runs / 2) ()
 
 let delete_version t ~name ~version =
+  traced t ~op:"delete_version" ~name @@ fun () ->
   require_live t;
   validate_name name;
   delete_version_unchecked t name version;
   op_done t ()
 
 let set_keep t ~name ~keep =
-  require_live t;
   if keep < 0 then invalid_arg "Fsd.set_keep";
+  traced t ~op:"set_keep" ~name @@ fun () ->
+  require_live t;
   let key, version, e = newest_exn t name in
   update_entry t ~key { e with Entry.keep };
   enforce_keep t name version keep;
@@ -669,6 +765,7 @@ let set_keep t ~name ~keep =
 (* Rename is pure metadata: both the removal and the insertion ride the
    same group commit, so the pair is atomic (one log record). *)
 let rename t ~from_ ~to_ =
+  traced t ~op:"rename" ~name:from_ @@ fun () ->
   require_live t;
   validate_name to_;
   let from_key, _, e = newest_exn t from_ in
@@ -683,12 +780,14 @@ let rename t ~from_ ~to_ =
 
 (* Copy duplicates the data pages under a fresh uid and leader. *)
 let copy t ~from_ ~to_ =
+  traced t ~op:"copy" ~name:from_ @@ fun () ->
   require_live t;
   let data = read_all t ~name:from_ in
   let _, _, e = newest_exn t from_ in
   create t ~name:to_ ~keep:e.Entry.keep data
 
 let touch_cached t ~name =
+  traced t ~op:"touch" ~name @@ fun () ->
   require_live t;
   let key, _, e = newest_exn t name in
   (match e.Entry.kind with
@@ -700,6 +799,7 @@ let touch_cached t ~name =
   op_done t ()
 
 let last_used t ~name =
+  traced t ~op:"last_used" ~name @@ fun () ->
   require_live t;
   let _, _, e = newest_exn t name in
   op_done t ();
@@ -708,6 +808,7 @@ let last_used t ~name =
   | Entry.Local | Entry.Symlink _ -> None
 
 let list t ~prefix =
+  traced t ~op:"list" ~name:prefix @@ fun () ->
   require_live t;
   let hi = prefix ^ "\xff\xff\xff\xff" in
   let acc = ref [] in
@@ -751,7 +852,9 @@ let scrub_fnt_pages t =
     t.scrub_page_cursor <- (page + 1) mod np;
     if Fnt_store.page_in_use t.store page then
       match Fnt_store.scrub_page t.store page with
-      | `Repaired -> t.counters.scrub_fnt_repairs <- t.counters.scrub_fnt_repairs + 1
+      | `Repaired ->
+        Metrics.inc t.meters.m_scrub_fnt_repairs;
+        emit t (Trace.Scrub_repair { target = "fnt-page"; loc = page })
       | `Ok | `Unreadable -> ()
   done
 
@@ -791,8 +894,8 @@ let scrub_leaders t =
              if not ok then begin
                Device.write t.device e.Entry.anchor
                  (leader_image_of_entry t ~name ~version e);
-               t.counters.scrub_leader_repairs <-
-                 t.counters.scrub_leader_repairs + 1
+               Metrics.inc t.meters.m_scrub_leader_repairs;
+               emit t (Trace.Scrub_repair { target = "leader"; loc = e.Entry.anchor })
              end;
              Hashtbl.replace t.verified e.Entry.uid ()
            end)
@@ -803,7 +906,7 @@ let maybe_scrub t =
   let interval = t.params.Params.scrub_interval_us in
   if interval > 0 && now t - t.last_scrub >= interval then begin
     t.last_scrub <- now t;
-    t.counters.scrub_passes <- t.counters.scrub_passes + 1;
+    Metrics.inc t.meters.m_scrub_passes;
     scrub_fnt_pages t;
     scrub_leaders t
   end
@@ -924,6 +1027,11 @@ let boot ?params device =
   Simclock.advance clock
     (runtime.Params.cpu_page_us * rec_info.Log.replayed_records * 4);
   let log_replay_us = Simclock.now clock - r0 in
+  let trace_boot ev =
+    let tr = Device.trace device in
+    if Trace.enabled tr then Trace.emit tr ~at:(Simclock.now clock) ev
+  in
+  trace_boot (Trace.Recovery_phase { phase = "log-replay"; us = log_replay_us });
   (* Attach the recovered structures. *)
   let t_ref = ref None in
   let on_enter j =
@@ -980,6 +1088,13 @@ let boot ?params device =
     ignore (Vam.drain_dirty_chunks vam : int list)
   end;
   let vam_us = Simclock.now clock - v0 in
+  let vam_source_str =
+    match vam_source with
+    | Vam_loaded -> "loaded"
+    | Vam_reconstructed -> "reconstructed"
+    | Vam_replayed -> "replayed"
+  in
+  trace_boot (Trace.Vam_rebuild { source = vam_source_str; us = vam_us });
   (* Leader images are applied only where the (recovered) name table still
      points: stale ones could stomp reused data sectors. *)
   let skipped_leaders = ref 0 in
@@ -1016,10 +1131,19 @@ let boot ?params device =
       scrub_page_cursor = 0;
       scrub_key_cursor = "";
       boot_count;
-      counters = mk_counters ();
+      meters = mk_meters (Device.metrics device);
     }
   in
   t_ref := Some t;
+  let reg = Device.metrics device in
+  Metrics.gauge reg "vam.free_sectors" (fun () ->
+      Vam.free_count (Alloc.vam t.alloc));
+  Metrics.gauge reg "vam.shadow_pending" (fun () ->
+      Vam.shadow_count (Alloc.vam t.alloc));
+  Metrics.gauge reg "vam.dirty_chunks" (fun () ->
+      Vam.dirty_chunk_count (Alloc.vam t.alloc));
+  let total_us = Simclock.now clock - t_start in
+  trace_boot (Trace.Recovery_phase { phase = "total"; us = total_us });
   let report =
     {
       boot_count;
@@ -1032,7 +1156,7 @@ let boot ?params device =
       vam_source;
       log_replay_us;
       vam_us;
-      total_us = Simclock.now clock - t_start;
+      total_us;
     }
   in
   (t, report)
@@ -1053,7 +1177,7 @@ let shutdown t =
   Hashtbl.iter
     (fun sector pl ->
       Device.write t.device sector pl.image;
-      t.counters.leader_home_writes <- t.counters.leader_home_writes + 1)
+      Metrics.inc t.meters.m_leader_home_writes)
     t.pending_leaders;
   Hashtbl.reset t.pending_leaders;
   Log.reset_pointer t.log;

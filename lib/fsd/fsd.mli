@@ -140,7 +140,23 @@ val ops : t -> Cedar_fsbase.Fs_ops.t
 val layout : t -> Layout.t
 val device : t -> Cedar_disk.Device.t
 val free_sectors : t -> int
+
 val counters : t -> counters
+(** Compatibility snapshot of the registry-backed FSD counters
+    (registered under ["fsd.*"] in {!metrics}); a fresh record each
+    call, zeroed at every boot. *)
+
+val counters_json : t -> Cedar_obs.Jsonb.t
+(** Machine-readable counterpart of {!counters}. *)
+
+val trace : t -> Cedar_obs.Trace.t
+(** The volume's event trace (shared with {!Cedar_disk.Device.trace});
+    enable it before driving operations to record spans and events. *)
+
+val metrics : t -> Cedar_obs.Metrics.t
+(** The volume's metrics registry, holding the FSD counters plus the
+    gauges registered by the device, log and name-table store. *)
+
 val log_stats : t -> Log.stats
 val fnt_home_writes : t -> int
 val fnt_repairs : t -> int

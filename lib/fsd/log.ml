@@ -236,6 +236,13 @@ let attach device layout ~boot_count ~next_record_no ~write_off ~on_enter_third 
   let third = third_sectors layout in
   let write_off = if write_off >= body_sectors layout then 0 else write_off in
   write_pointer device layout ~offset:write_off ~record_no:next_record_no ~boot_count;
+  let stats = mk_stats () in
+  let m = Device.metrics device in
+  Cedar_obs.Metrics.gauge m "log.records" (fun () -> stats.records);
+  Cedar_obs.Metrics.gauge m "log.data_sectors" (fun () -> stats.data_sectors);
+  Cedar_obs.Metrics.gauge m "log.total_sectors" (fun () -> stats.total_sectors);
+  Cedar_obs.Metrics.gauge m "log.third_entries" (fun () -> stats.third_entries);
+  Cedar_obs.Metrics.register_dist m "log.record_sectors" stats.record_sizes;
   {
     device;
     layout;
@@ -245,7 +252,7 @@ let attach device layout ~boot_count ~next_record_no ~write_off ~on_enter_third 
     next_record_no;
     current_third = min (write_off / third) 2;
     third_first = [| None; None; None |];
-    stats = mk_stats ();
+    stats;
   }
 
 let current_third t = t.current_third
@@ -340,6 +347,18 @@ let append t units =
     Bytes.blit endp 0 buf ((4 + (2 * n)) * sb) sb
   end;
   Device.write_run t.device ~sector:(body_start t.layout + t.write_off) buf;
+  let tr = Device.trace t.device in
+  if Cedar_obs.Trace.enabled tr then
+    Cedar_obs.Trace.emit tr
+      ~at:(Simclock.now (Device.clock t.device))
+      (Cedar_obs.Trace.Log_append
+         {
+           record_no = t.next_record_no;
+           units = List.length units;
+           data_sectors = n;
+           total_sectors = size;
+           third = first_t;
+         });
   t.stats.records <- t.stats.records + 1;
   t.stats.data_sectors <- t.stats.data_sectors + n;
   t.stats.total_sectors <- t.stats.total_sectors + size;

@@ -69,6 +69,20 @@ let run device =
   let geom = Device.geometry device in
   let params, bp = params_of_volume device geom in
   let layout = Layout.compute geom params in
+  let phase_start = ref t0 in
+  (* Fresh series per run: the registry reports the latest scavenge. *)
+  let phase_us =
+    Cedar_obs.Metrics.dist (Device.metrics device) "scavenge.phase_us"
+  in
+  let end_phase name =
+    let us = Simclock.now clock - !phase_start in
+    Cedar_util.Stats.add phase_us (float_of_int us);
+    let tr = Device.trace device in
+    if Cedar_obs.Trace.enabled tr then
+      Cedar_obs.Trace.emit tr ~at:(Simclock.now clock)
+        (Cedar_obs.Trace.Scavenge_phase { phase = name; us });
+    phase_start := Simclock.now clock
+  in
   (* Phase 1: the log first — committed page images supersede whatever is
      in the home locations, and may resurrect whole FNT pages. *)
   let rec_info = Log.recover device layout in
@@ -79,6 +93,7 @@ let run device =
       | Log.Leader_page s -> apply_logged_leader device s image
       | Log.Vam_chunk _ -> ())
     rec_info.Log.images;
+  end_phase "log-replay";
   (* Phase 2: salvage the surviving name table. A failed attach or a
      failed descent keeps whatever entries were reached — each one sits
      in a checksummed page, so partial salvage is sound. *)
@@ -115,6 +130,7 @@ let run device =
     if relevant && Fnt_store.try_read_home device layout ~page = None then
       incr fnt_pages_lost
   done;
+  end_phase "salvage-fnt";
   (* Phase 3: sweep the data areas for leader pages. Every leader is a
      checksummed copy of its file's entry, physically placed just before
      the file's first data page. *)
@@ -132,6 +148,7 @@ let run device =
   in
   sweep layout.Layout.small_lo layout.Layout.small_hi;
   sweep layout.Layout.big_lo layout.Layout.big_hi;
+  end_phase "leader-sweep";
   (* Phase 4: merge. Salvaged FNT entries are accepted first (the table
      is the primary structure); leaders then fill the holes, newest uid
      first, so a lingering leader of a deleted-and-recreated name loses
@@ -205,6 +222,7 @@ let run device =
         end
       end)
     by_uid_desc;
+  end_phase "merge";
   (* Phase 5: write everything back — fresh FNT, fresh VAM, empty log,
      clean boot page. The rebuilt volume boots with nothing to replay. *)
   let store = Fnt_store.create_fresh device layout in
@@ -268,6 +286,7 @@ let run device =
       log_vam = params.Params.log_vam;
       track_tolerant_log = params.Params.track_tolerant_log;
     };
+  end_phase "write-back";
   {
     entries_kept = !entries_kept;
     entries_rebuilt = !entries_rebuilt;

@@ -1,0 +1,81 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let rec render b ~indent ~level v =
+  let pad l =
+    if indent then begin
+      Buffer.add_char b '\n';
+      for _ = 1 to 2 * l do
+        Buffer.add_char b ' '
+      done
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | Str s ->
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        pad (level + 1);
+        render b ~indent ~level:(level + 1) x)
+      xs;
+    pad level;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_char b ',';
+        pad (level + 1);
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b (if indent then "\": " else "\":");
+        render b ~indent ~level:(level + 1) x)
+      kvs;
+    pad level;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  render b ~indent:false ~level:0 v;
+  Buffer.contents b
+
+let to_string_pretty v =
+  let b = Buffer.create 256 in
+  render b ~indent:true ~level:0 v;
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(** Minimal JSON value builder used by the observability layer.
+
+    The tree is built from plain constructors and rendered with
+    {!to_string}; no parsing, no external dependency. Object member
+    order is preserved as given, so callers that want deterministic
+    output (the table emitters) sort before building. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace beyond single spaces). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by humans. *)

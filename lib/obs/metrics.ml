@@ -1,0 +1,101 @@
+module Stats = Cedar_util.Stats
+
+type counter = int ref
+
+type instrument =
+  | Counter of counter
+  | Gauge of (unit -> int)
+  | Dist of Stats.t
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let counter t name =
+  let c = ref 0 in
+  Hashtbl.replace t.tbl name (Counter c);
+  c
+
+let inc c = incr c
+let add c n = c := !c + n
+let counter_value c = !c
+let gauge t name f = Hashtbl.replace t.tbl name (Gauge f)
+
+let dist t name =
+  let s = Stats.create () in
+  Hashtbl.replace t.tbl name (Dist s);
+  s
+
+let register_dist t name s = Hashtbl.replace t.tbl name (Dist s)
+
+let read t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> Some !c
+  | Some (Gauge f) -> Some (f ())
+  | Some (Dist _) | None -> None
+
+let read_dist t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Dist s) -> Some s
+  | Some _ | None -> None
+
+type snapshot_value =
+  | Int of int
+  | Dist of { n : int; mean : float; min : float; p50 : float; p95 : float; max : float }
+
+let snapshot_dist s =
+  if Stats.n s = 0 then Dist { n = 0; mean = 0.; min = 0.; p50 = 0.; p95 = 0.; max = 0. }
+  else
+    Dist
+      {
+        n = Stats.n s;
+        mean = Stats.mean s;
+        min = Stats.min s;
+        p50 = Stats.percentile s 0.5;
+        p95 = Stats.percentile s 0.95;
+        max = Stats.max s;
+      }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name ins acc ->
+      let v =
+        match ins with
+        | Counter c -> Int !c
+        | Gauge f -> Int (f ())
+        | Dist s -> snapshot_dist s
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json t =
+  Jsonb.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Int i -> Jsonb.Int i
+           | Dist d ->
+             Jsonb.Obj
+               [
+                 ("n", Jsonb.Int d.n);
+                 ("mean", Jsonb.Float d.mean);
+                 ("min", Jsonb.Float d.min);
+                 ("p50", Jsonb.Float d.p50);
+                 ("p95", Jsonb.Float d.p95);
+                 ("max", Jsonb.Float d.max);
+               ] ))
+       (snapshot t))
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Int i -> Format.fprintf ppf "%-32s %d@." name i
+      | Dist d ->
+        if d.n = 0 then Format.fprintf ppf "%-32s (empty)@." name
+        else
+          Format.fprintf ppf "%-32s n=%d mean=%.1f min=%.1f p50=%.1f p95=%.1f max=%.1f@."
+            name d.n d.mean d.min d.p50 d.p95 d.max)
+    (snapshot t)

@@ -1,0 +1,58 @@
+(** Table replayers: fold a trace into the paper's evaluation tables.
+
+    These are pure functions over {!Trace.entry} lists; the CLI
+    ([cedar stats] / [cedar bench]) and the bench harness drive a
+    scripted workload with tracing enabled and hand the buffer here.
+
+    - {!per_op} is the Tables 3/4 analogue: device I/Os attributed to
+      the FSD operation (span) that issued them.
+    - {!log_activity} is the Table 2 analogue: bytes logged per commit
+      batch, forces vs empty forces.
+    - {!recovery_phases} is the Table 5 analogue: per-phase timings of
+      log replay, VAM rebuild and scavenging. *)
+
+type op_row = {
+  op : string;
+  calls : int;
+  reads : int;  (** device read commands *)
+  writes : int;  (** device write commands *)
+  sectors_read : int;
+  sectors_written : int;
+  device_us : int;  (** simulated time inside device commands *)
+  op_us : int;  (** total wall-clock (virtual) across calls *)
+}
+
+val per_op : Trace.entry list -> op_row list
+(** One row per distinct operation label, sorted by label. Device
+    events are attributed to their innermost enclosing span; events
+    outside any span are collected under the pseudo-op ["(none)"]. *)
+
+type log_row = {
+  records : int;  (** log records appended *)
+  units : int;  (** page images across all records *)
+  data_sectors : int;
+  total_sectors : int;  (** including headers/copies of header *)
+  forces : int;
+  empty_forces : int;
+  units_per_force : Cedar_util.Stats.t;
+  data_sectors_per_record : Cedar_util.Stats.t;
+}
+
+val log_activity : Trace.entry list -> log_row
+
+type phase_row = { phase : string; us : int }
+
+val recovery_phases : Trace.entry list -> phase_row list
+(** Recovery, VAM-rebuild and scavenge phase events in trace order. *)
+
+val per_op_json : op_row list -> Jsonb.t
+val log_json : ?sector_bytes:int -> log_row -> Jsonb.t
+(** With [sector_bytes], also reports [data_bytes] / [total_bytes]. *)
+
+val recovery_json : phase_row list -> Jsonb.t
+
+val pp_per_op : Format.formatter -> op_row list -> unit
+(** Fixed-width table, Tables 3/4 style. *)
+
+val pp_log : Format.formatter -> log_row -> unit
+val pp_recovery : Format.formatter -> phase_row list -> unit

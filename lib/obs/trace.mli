@@ -1,0 +1,94 @@
+(** Ring-buffer event trace for the storage stack.
+
+    Every layer of the stack emits typed events into one shared trace
+    owned by the device: device commands with their simulated latency,
+    log appends and group-commit forces, FNT write-twice pairs, leader
+    piggybacks, VAM rebuilds, scrub repairs, scavenge and recovery
+    phases. Each event carries the span id of the FSD-level operation
+    that issued it, so a replayer can attribute raw device I/O to the
+    create/open/delete that caused it — the attribution Hagmann's
+    Tables 2–4 are built from.
+
+    The trace is disabled by default and costs a single branch (no
+    allocation) per potential event while disabled; {!enable} allocates
+    the ring lazily. When the ring is full the oldest entries are
+    overwritten and counted in {!dropped}. *)
+
+type event =
+  | Dev_read of { sector : int; count : int; us : int }
+  | Dev_write of { sector : int; count : int; us : int }
+  | Dev_seek of { cylinders : int; us : int }
+      (** Arm movement charged as part of the following command. *)
+  | Log_append of {
+      record_no : int64;
+      units : int;
+      data_sectors : int;
+      total_sectors : int;
+      third : int;
+    }
+  | Log_force of { units : int; empty : bool }
+      (** One group-commit force; [empty] marks a force that found
+          nothing dirty and wrote no record. *)
+  | Fnt_write_twice of { page : int }
+      (** Both home copies of an FNT page written (§5.2). *)
+  | Leader_piggyback of { sector : int }
+      (** Leader verified for free on the read of its file's data (§5.7). *)
+  | Vam_rebuild of { source : string; us : int }
+  | Scrub_repair of { target : string; loc : int }
+      (** Scrub demon repaired a lone bad copy; [target] is
+          ["fnt-page"] or ["leader"], [loc] the page or sector. *)
+  | Scavenge_phase of { phase : string; us : int }
+  | Recovery_phase of { phase : string; us : int }
+  | Op_begin of { op : string; name : string }
+  | Op_end of { op : string; us : int }
+
+type entry = {
+  seq : int;  (** monotonically increasing; also the span id of [Op_begin] *)
+  span : int;  (** innermost enclosing span id, 0 at top level *)
+  at_us : int;  (** virtual clock when the event was emitted *)
+  event : event;
+}
+
+type t
+
+val create : unit -> t
+(** A disabled trace; no buffer is allocated until {!enable}. *)
+
+val enabled : t -> bool
+(** The hot-path guard: emission sites test this single flag and do
+    nothing else (no allocation) when it is false. *)
+
+val enable : ?capacity:int -> t -> unit
+(** Allocate the ring (default capacity 65536 entries) and start
+    recording. Re-enabling an enabled trace is a no-op. *)
+
+val disable : t -> unit
+(** Stop recording; the buffered entries remain readable. *)
+
+val clear : t -> unit
+
+val emit : t -> at:int -> event -> unit
+(** Record an event at virtual time [at] under the current span.
+    No-op when disabled. *)
+
+val begin_span : t -> at:int -> op:string -> name:string -> int
+(** Open a span for operation [op] on file [name]; records an
+    {!Op_begin} entry under the previous span and returns the new span
+    id (0 when disabled — {!end_span} ignores it). *)
+
+val end_span : t -> at:int -> int -> unit
+(** Close the span, recording {!Op_end} with its duration. Spans
+    opened after it that were never closed are discarded (exception
+    unwinding). *)
+
+val length : t -> int
+val dropped : t -> int
+(** Entries overwritten because the ring was full. *)
+
+val to_list : t -> entry list
+(** Buffered entries, oldest first. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit

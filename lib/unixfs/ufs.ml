@@ -173,12 +173,32 @@ type t = {
   mutable next_dir_group : int;
   mutable cpu_overlapped : int;
   mutable live : bool;
+  ops_c : Cedar_obs.Metrics.counter;
 }
 
 let device t = t.device
 let cpu_overlapped_us t = t.cpu_overlapped
 let require_live t = if not t.live then Fs_error.raise_ Fs_error.Not_booted
-let op_cpu t = Simclock.advance t.clock t.params.Ufs_params.cpu_op_us
+
+let op_cpu t =
+  Cedar_obs.Metrics.inc t.ops_c;
+  Simclock.advance t.clock t.params.Ufs_params.cpu_op_us
+
+(* Span wrapper for the public operations; free when tracing is off. *)
+let traced t ~op ~name f =
+  let tr = Device.trace t.device in
+  if not (Cedar_obs.Trace.enabled tr) then f ()
+  else begin
+    let t0 = Simclock.now t.clock in
+    let id = Cedar_obs.Trace.begin_span tr ~at:t0 ~op ~name in
+    match f () with
+    | v ->
+      Cedar_obs.Trace.end_span tr ~at:(Simclock.now t.clock) id;
+      v
+    | exception e ->
+      Cedar_obs.Trace.end_span tr ~at:(Simclock.now t.clock) id;
+      raise e
+  end
 
 let data_cpu t us = t.cpu_overlapped <- t.cpu_overlapped + us
 
@@ -502,6 +522,7 @@ let info_of_inode path inum (ino : Inode.t) =
   { Fs_ops.name = path; version = 1; byte_size = ino.Inode.size; uid = Int64.of_int inum }
 
 let stat t ~path =
+  traced t ~op:"stat" ~name:path @@ fun () ->
   require_live t;
   op_cpu t;
   match lookup_path t path with
@@ -518,6 +539,7 @@ let free_file_blocks t ino =
   if ino.Inode.indirect <> 0 then free_block t ino.Inode.indirect
 
 let unlink t ~path =
+  traced t ~op:"delete" ~name:path @@ fun () ->
   require_live t;
   op_cpu t;
   let components = split_path path in
@@ -540,6 +562,7 @@ let unlink t ~path =
         free_inode t inum))
 
 let create t ~path data =
+  traced t ~op:"create" ~name:path @@ fun () ->
   require_live t;
   op_cpu t;
   if exists t ~path then unlink t ~path;
@@ -585,6 +608,7 @@ let create t ~path data =
   info_of_inode path inum ino
 
 let read_all t ~path =
+  traced t ~op:"read_all" ~name:path @@ fun () ->
   require_live t;
   op_cpu t;
   match lookup_path t path with
@@ -609,6 +633,7 @@ let read_all t ~path =
     out
 
 let read_page t ~path ~page =
+  traced t ~op:"read_page" ~name:path @@ fun () ->
   require_live t;
   op_cpu t;
   match lookup_path t path with
@@ -628,6 +653,7 @@ let read_page t ~path ~page =
     end
 
 let readdir t ~path =
+  traced t ~op:"list" ~name:path @@ fun () ->
   require_live t;
   op_cpu t;
   match lookup_path t path with
@@ -644,19 +670,26 @@ let readdir t ~path =
 (* --- lifecycle --------------------------------------------------------- *)
 
 let mk device params sh cgs =
-  {
-    device;
-    clock = Device.clock device;
-    params;
-    sh;
-    cache = Lru.create ~capacity:params.Ufs_params.cache_blocks;
-    cgs;
-    cg_dirty = Array.make sh.ngroups false;
-    alloc_hint = Array.init sh.ngroups (fun g -> data_start sh g);
-    next_dir_group = 0;
-    cpu_overlapped = 0;
-    live = true;
-  }
+  let metrics = Device.metrics device in
+  let t =
+    {
+      device;
+      clock = Device.clock device;
+      params;
+      sh;
+      cache = Lru.create ~capacity:params.Ufs_params.cache_blocks;
+      cgs;
+      cg_dirty = Array.make sh.ngroups false;
+      alloc_hint = Array.init sh.ngroups (fun g -> data_start sh g);
+      next_dir_group = 0;
+      cpu_overlapped = 0;
+      live = true;
+      ops_c = Cedar_obs.Metrics.counter metrics "ufs.ops";
+    }
+  in
+  Cedar_obs.Metrics.gauge metrics "ufs.cpu_overlapped_us" (fun () ->
+      t.cpu_overlapped);
+  t
 
 let write_sb t ~clean =
   write_block_sync t 1 (encode_sb t.sh t.params ~clean ~block_bytes:t.sh.block_bytes)

@@ -35,8 +35,9 @@ let sorted t =
 
 let percentile t p =
   if t.n = 0 then invalid_arg "Stats.percentile: empty";
-  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile";
+  let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
   let a = sorted t in
+  (* Nearest-rank; p = 0.0 is defined as the minimum (rank 1). *)
   let idx = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
   a.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
 

@@ -11,8 +11,10 @@ val max : t -> float
 val total : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [0,1]; nearest-rank. Raises
-    [Invalid_argument] on an empty series. *)
+(** [percentile t p] with [p] in [0,1]; nearest-rank, so [percentile t 0.0]
+    is the minimum and [percentile t 1.0] the maximum. Values of [p]
+    outside [0,1] are clamped to the nearest bound. Raises
+    [Invalid_argument] only on an empty series. *)
 
 val pp : Format.formatter -> t -> unit
 

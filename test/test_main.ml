@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cedar"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("disk", Test_disk.suite);
       ("btree", Test_btree.suite);
       ("model", Test_model.suite);

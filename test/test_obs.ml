@@ -1,0 +1,294 @@
+(* Observability: the ring-buffer trace, the metrics registry, and the
+   table replayers — including the hand-counted Tables 3/4 analogue for
+   the scripted workload behind [cedar stats]. *)
+
+open Cedar_util
+open Cedar_disk
+open Cedar_obs
+module Fsd = Cedar_fsd.Fsd
+module Params = Cedar_fsd.Params
+module Script = Cedar_workload.Obs_script
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let content n seed = Bytes.init n (fun i -> Char.chr ((i + seed) mod 251))
+
+let small_fs () =
+  let clock = Simclock.create () in
+  let device = Device.create ~clock Geometry.small_test in
+  Fsd.format device (Params.for_geometry Geometry.small_test);
+  (device, fst (Fsd.boot device))
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+
+let test_ring_wraparound () =
+  let tr = Trace.create () in
+  check bool "disabled by default" false (Trace.enabled tr);
+  Trace.enable ~capacity:8 tr;
+  for i = 1 to 20 do
+    Trace.emit tr ~at:i (Trace.Log_force { units = i; empty = false })
+  done;
+  check int "length capped at capacity" 8 (Trace.length tr);
+  check int "overwritten entries counted" 12 (Trace.dropped tr);
+  let seqs = List.map (fun e -> e.Trace.seq) (Trace.to_list tr) in
+  check (Alcotest.list int) "oldest-first, newest survive"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ] seqs;
+  Trace.clear tr;
+  check int "clear empties" 0 (Trace.length tr);
+  check int "clear resets dropped" 0 (Trace.dropped tr)
+
+let test_disabled_is_inert () =
+  let tr = Trace.create () in
+  Trace.emit tr ~at:0 (Trace.Leader_piggyback { sector = 1 });
+  check int "emit on a disabled trace records nothing" 0 (Trace.length tr);
+  check int "begin_span returns the null span" 0
+    (Trace.begin_span tr ~at:0 ~op:"x" ~name:"");
+  Trace.end_span tr ~at:1 0;
+  Trace.enable ~capacity:4 tr;
+  Trace.emit tr ~at:2 (Trace.Leader_piggyback { sector = 2 });
+  (* Disabled emission must not have consumed sequence numbers: the
+     first real entry is #1 (the disabled path is a single branch). *)
+  (match Trace.to_list tr with
+  | [ e ] -> check int "no seq consumed while disabled" 1 e.Trace.seq
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l));
+  Trace.disable tr;
+  Trace.emit tr ~at:3 (Trace.Leader_piggyback { sector = 3 });
+  check int "entries survive disable; no new ones" 1 (Trace.length tr)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let outer = Trace.begin_span tr ~at:0 ~op:"outer" ~name:"o" in
+  Trace.emit tr ~at:1 (Trace.Leader_piggyback { sector = 7 });
+  let inner = Trace.begin_span tr ~at:2 ~op:"inner" ~name:"i" in
+  Trace.emit tr ~at:3 (Trace.Dev_read { sector = 0; count = 1; us = 5 });
+  Trace.end_span tr ~at:4 inner;
+  Trace.emit tr ~at:5 (Trace.Dev_write { sector = 0; count = 1; us = 5 });
+  Trace.end_span tr ~at:6 outer;
+  match Trace.to_list tr with
+  | [ a; b; c; d; e; f; g ] ->
+    check int "outer opens at top level" 0 a.Trace.span;
+    check int "event under outer" outer b.Trace.span;
+    check int "inner opens under outer" outer c.Trace.span;
+    check int "event under inner" inner d.Trace.span;
+    check int "inner close carries its own span" inner e.Trace.span;
+    check int "after inner closes, outer is current again" outer f.Trace.span;
+    check int "outer close" outer g.Trace.span;
+    (match e.Trace.event with
+    | Trace.Op_end { op; us } ->
+      check string "inner op" "inner" op;
+      check int "inner duration" 2 us
+    | _ -> Alcotest.fail "expected Op_end")
+  | l -> Alcotest.failf "expected 7 entries, got %d" (List.length l)
+
+let test_abandoned_span_unwound () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let outer = Trace.begin_span tr ~at:0 ~op:"outer" ~name:"" in
+  let _inner = Trace.begin_span tr ~at:1 ~op:"inner" ~name:"" in
+  (* inner never closed (exception path); closing outer discards it *)
+  Trace.end_span tr ~at:2 outer;
+  Trace.emit tr ~at:3 (Trace.Leader_piggyback { sector = 1 });
+  let last = List.nth (Trace.to_list tr) 3 in
+  check int "back at top level" 0 last.Trace.span
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x.count" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check (Alcotest.option int) "counter read" (Some 5) (Metrics.read m "x.count");
+  check int "handle read" 5 (Metrics.counter_value c);
+  let cell = ref 7 in
+  Metrics.gauge m "x.gauge" (fun () -> !cell);
+  cell := 9;
+  check (Alcotest.option int) "gauge samples live state" (Some 9)
+    (Metrics.read m "x.gauge");
+  let d = Metrics.dist m "x.dist" in
+  Stats.add d 3.0;
+  check bool "dist registered" true (Metrics.read_dist m "x.dist" <> None);
+  check (Alcotest.option int) "dist is not a counter" None (Metrics.read m "x.dist");
+  (* Re-registration replaces with a fresh zeroed cell (per-boot reset). *)
+  let c2 = Metrics.counter m "x.count" in
+  check (Alcotest.option int) "re-register zeroes" (Some 0) (Metrics.read m "x.count");
+  Metrics.inc c;
+  (* the detached old handle must not affect the registry *)
+  check (Alcotest.option int) "old handle detached" (Some 0) (Metrics.read m "x.count");
+  Metrics.inc c2;
+  check (Alcotest.option int) "new handle live" (Some 1) (Metrics.read m "x.count");
+  let names = List.map fst (Metrics.snapshot m) in
+  check (Alcotest.list string) "snapshot is name-sorted"
+    (List.sort compare names) names
+
+let test_jsonb () =
+  let j =
+    Jsonb.Obj
+      [
+        ("a", Jsonb.Int 1);
+        ("s", Jsonb.Str "x\"y\n");
+        ("l", Jsonb.Arr [ Jsonb.Bool true; Jsonb.Null; Jsonb.Float 1.5 ]);
+      ]
+  in
+  check string "compact encoding"
+    "{\"a\":1,\"s\":\"x\\\"y\\n\",\"l\":[true,null,1.5]}" (Jsonb.to_string j);
+  check string "integral floats keep a decimal point" "[2.0]"
+    (Jsonb.to_string (Jsonb.Arr [ Jsonb.Float 2.0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Event sequences per §4/§5: what each FSD operation costs            *)
+
+(* Salient event kinds, with seeks dropped (they depend on arm position). *)
+let kinds entries =
+  List.filter_map
+    (fun e ->
+      match e.Trace.event with
+      | Trace.Dev_seek _ -> None
+      | Trace.Dev_read _ -> Some "dev-read"
+      | Trace.Dev_write _ -> Some "dev-write"
+      | Trace.Log_append _ -> Some "log-append"
+      | Trace.Log_force { empty = true; _ } -> Some "log-force-empty"
+      | Trace.Log_force _ -> Some "log-force"
+      | Trace.Fnt_write_twice _ -> Some "fnt-write-twice"
+      | Trace.Leader_piggyback _ -> Some "leader-piggyback"
+      | Trace.Op_begin { op; _ } -> Some ("begin:" ^ op)
+      | Trace.Op_end { op; _ } -> Some ("end:" ^ op)
+      | _ -> None)
+    entries
+
+let traced_kinds device f =
+  let tr = Device.trace device in
+  Trace.clear tr;
+  Trace.enable tr;
+  f ();
+  Trace.disable tr;
+  kinds (Trace.to_list tr)
+
+let seq = Alcotest.list string
+
+let test_op_event_sequences () =
+  let device, fs = small_fs () in
+  (* Warm the name-table cache so the sequences are steady-state. *)
+  ignore (Fsd.create fs ~name:"s/warm" (content 100 0));
+  Fsd.force fs;
+  (* create: exactly one combined leader+data write, nothing logged yet *)
+  check seq "create = one combined write (§5.3)"
+    [ "begin:create"; "dev-write"; "end:create" ]
+    (traced_kinds device (fun () ->
+         ignore (Fsd.create fs ~name:"s/f1" (content 900 1))));
+  (* force: the pending FNT update goes out as one log record *)
+  check seq "force = append + force (§5.4)"
+    [ "begin:force"; "dev-write"; "log-append"; "log-force"; "end:force" ]
+    (traced_kinds device (fun () -> Fsd.force fs));
+  (* a second force with nothing dirty writes nothing *)
+  check seq "empty force costs no I/O"
+    [ "begin:force"; "log-force-empty"; "end:force" ]
+    (traced_kinds device (fun () -> Fsd.force fs));
+  (* write_page: data page rewritten in place *)
+  check seq "write_page = one data write"
+    [ "begin:write_page"; "dev-write"; "end:write_page" ]
+    (traced_kinds device (fun () ->
+         Fsd.write_page fs ~name:"s/f1" ~page:0 (content 512 2)));
+  (* delete: pure metadata, absorbed by group commit (§5.4) *)
+  check seq "delete costs no I/O"
+    [ "begin:delete"; "end:delete" ]
+    (traced_kinds device (fun () -> Fsd.delete fs ~name:"s/f1"))
+
+(* ------------------------------------------------------------------ *)
+(* Table replayers on the scripted workload (the [cedar stats] path)   *)
+
+let scripted_entries () =
+  let device, fs = small_fs () in
+  let ops = Fsd.ops fs in
+  Script.warmup ops;
+  let tr = Device.trace device in
+  Trace.enable tr;
+  Script.scripted ops;
+  Trace.disable tr;
+  Trace.to_list tr
+
+let test_per_op_hand_counts () =
+  let entries = scripted_entries () in
+  let rows = Tables.per_op entries in
+  let row op =
+    match List.find_opt (fun r -> r.Tables.op = op) rows with
+    | Some r -> r
+    | None -> Alcotest.failf "no per-op row for %s" op
+  in
+  (* Hand-counted Tables 3/4 analogue for n=10 files of 900 bytes:
+     create = 1 combined leader+data write (1 leader + 2 data sectors),
+     open/delete/list = 0 I/Os, warm read_all = 1 read of 2 sectors. *)
+  let c = row "create" in
+  check int "create calls" Script.n c.Tables.calls;
+  check int "create reads" 0 c.Tables.reads;
+  check int "create writes" Script.n c.Tables.writes;
+  check int "create sectors written" (3 * Script.n) c.Tables.sectors_written;
+  let o = row "open" in
+  check int "open calls" Script.n o.Tables.calls;
+  check int "open I/Os" 0 (o.Tables.reads + o.Tables.writes);
+  let d = row "delete" in
+  check int "delete calls" Script.n d.Tables.calls;
+  check int "delete I/Os" 0 (d.Tables.reads + d.Tables.writes);
+  let l = row "list" in
+  check int "list calls" 1 l.Tables.calls;
+  check int "list I/Os" 0 (l.Tables.reads + l.Tables.writes);
+  let r = row "read_all" in
+  check int "read calls" Script.n r.Tables.calls;
+  check int "read reads" Script.n r.Tables.reads;
+  check int "read writes" 0 r.Tables.writes;
+  check int "read sectors" (2 * Script.n) r.Tables.sectors_read;
+  let f = row "force" in
+  check int "force calls" 2 f.Tables.calls;
+  check int "force reads" 0 f.Tables.reads;
+  check int "force writes: one log record each" 2 f.Tables.writes
+
+let test_log_activity () =
+  let entries = scripted_entries () in
+  let log = Tables.log_activity entries in
+  check int "records" 2 log.Tables.records;
+  check int "forces" 2 log.Tables.forces;
+  check int "empty forces" 0 log.Tables.empty_forces;
+  check bool "every record carries data" true (log.Tables.data_sectors > 0);
+  check bool "headers cost extra sectors" true
+    (log.Tables.total_sectors > log.Tables.data_sectors)
+
+let test_recovery_phases_traced () =
+  let device, fs = small_fs () in
+  ignore (Fsd.create fs ~name:"r/a" (content 400 1));
+  Fsd.force fs;
+  ignore (Fsd.create fs ~name:"r/b" (content 400 2));
+  (* crash: boot again with no shutdown, tracing the recovery *)
+  let tr = Device.trace device in
+  Trace.enable tr;
+  let _fs2, report = Fsd.boot device in
+  Trace.disable tr;
+  let phases = Tables.recovery_phases (Trace.to_list tr) in
+  let names = List.map (fun p -> p.Tables.phase) phases in
+  check bool "log-replay phase present" true (List.mem "log-replay" names);
+  check bool "vam phase present" true
+    (List.exists
+       (fun n -> String.length n > 4 && String.sub n 0 4 = "vam-")
+       names);
+  check bool "total present" true (List.mem "total" names);
+  let us_of p = (List.find (fun r -> r.Tables.phase = p) phases).Tables.us in
+  check int "total matches the boot report" report.Fsd.total_us (us_of "total")
+
+let suite =
+  [
+    ("ring wrap-around", `Quick, test_ring_wraparound);
+    ("disabled trace is inert", `Quick, test_disabled_is_inert);
+    ("span nesting", `Quick, test_span_nesting);
+    ("abandoned span unwound", `Quick, test_abandoned_span_unwound);
+    ("metrics registry", `Quick, test_metrics_registry);
+    ("json builder", `Quick, test_jsonb);
+    ("op event sequences (§4)", `Quick, test_op_event_sequences);
+    ("per-op I/O hand counts (Tables 3/4)", `Quick, test_per_op_hand_counts);
+    ("log activity (Table 2)", `Quick, test_log_activity);
+    ("recovery phases traced (Table 5)", `Quick, test_recovery_phases_traced);
+  ]

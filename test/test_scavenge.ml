@@ -293,6 +293,50 @@ let test_scrub_rewrites_corrupt_leader () =
     (Bytes.equal (content 700 4) (Fsd.read_all fs ~name:"lead/a"));
   Fsd.shutdown fs
 
+(* A repair must surface through BOTH channels: the metrics registry
+   (fsd.scrub_fnt_repairs) and a Scrub_repair trace event. *)
+let test_scrub_repair_emits_metric_and_trace () =
+  let device, fs = fresh () in
+  for i = 0 to 7 do
+    ignore (Fsd.create fs ~name:(Printf.sprintf "t/f%d" i) (content (150 * (i + 1)) i))
+  done;
+  Fsd.force fs;
+  Fsd.drop_caches fs;
+  let layout = Fsd.layout fs in
+  let rng = Rng.create 42 in
+  let corrupted = ref false in
+  (try
+     for s = layout.Layout.fnt_a_start to
+         layout.Layout.fnt_a_start + layout.Layout.fnt_sectors - 1 do
+       if (not !corrupted) && Device.written_ever device s then begin
+         Device.corrupt device s ~rng;
+         corrupted := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  check bool "corrupted a live sector" true !corrupted;
+  let tr = Device.trace device in
+  Cedar_obs.Trace.enable tr;
+  run_scrub_to_completion fs;
+  Cedar_obs.Trace.disable tr;
+  let c = Fsd.counters fs in
+  check bool "counter incremented" true (c.Fsd.scrub_fnt_repairs >= 1);
+  check (Alcotest.option int) "registry view agrees"
+    (Some c.Fsd.scrub_fnt_repairs)
+    (Cedar_obs.Metrics.read (Device.metrics device) "fsd.scrub_fnt_repairs");
+  let repair_events =
+    List.filter
+      (fun e ->
+        match e.Cedar_obs.Trace.event with
+        | Cedar_obs.Trace.Scrub_repair { target = "fnt-page"; _ } -> true
+        | _ -> false)
+      (Cedar_obs.Trace.to_list tr)
+  in
+  check int "one trace event per repair" c.Fsd.scrub_fnt_repairs
+    (List.length repair_events);
+  Fsd.shutdown fs
+
 let test_scrub_counts_passes () =
   let _device, fs = fresh () in
   ignore (Fsd.create fs ~name:"tickfile" (content 100 1));
@@ -317,5 +361,6 @@ let suite =
     ("scavenge on an empty volume", `Quick, test_scavenge_empty_volume);
     ("scrub repairs FNT copy before any read", `Quick, test_scrub_repairs_fnt_copy_before_read);
     ("scrub rewrites a corrupt leader", `Quick, test_scrub_rewrites_corrupt_leader);
+    ("scrub repair: counter + trace event", `Quick, test_scrub_repair_emits_metric_and_trace);
     ("scrub pass counter", `Quick, test_scrub_counts_passes);
   ]

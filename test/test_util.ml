@@ -206,6 +206,17 @@ let test_stats () =
   check (Alcotest.float 1e-9) "p50" 2.0 (Stats.percentile s 0.5);
   check (Alcotest.float 1e-9) "p100" 4.0 (Stats.percentile s 1.0)
 
+let test_percentile_edges () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.0; 1.0; 3.0 ];
+  check (Alcotest.float 1e-9) "p0 is the minimum" 1.0 (Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "below 0 clamps to min" 1.0 (Stats.percentile s (-0.7));
+  check (Alcotest.float 1e-9) "above 1 clamps to max" 5.0 (Stats.percentile s 2.5);
+  check bool "empty series still raises" true
+    (match Stats.percentile (Stats.create ()) 0.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_histogram () =
   let h = Stats.Histogram.create ~bucket_width:10 in
   List.iter (Stats.Histogram.add h) [ 1; 5; 11; 25; 27 ];
@@ -236,5 +247,6 @@ let suite =
     ("rng split independent", `Quick, test_rng_split_independent);
     ("simclock", `Quick, test_simclock);
     ("stats", `Quick, test_stats);
+    ("percentile edges", `Quick, test_percentile_edges);
     ("histogram", `Quick, test_histogram);
   ]
