@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench fmt clean
+.PHONY: all check build test bench fmt fmt-check ci clean
 
 all: build
 
@@ -13,12 +13,24 @@ test:
 
 check: build test
 
+# Reproduce every paper table and regenerate the committed trace-driven
+# snapshot (BENCH_OBS.json) so reviewers can diff observability output.
 bench:
 	dune exec bench/main.exe
+	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
 
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
 	-dune fmt
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
+
+ci: fmt-check check
 
 clean:
 	dune clean

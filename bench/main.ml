@@ -8,12 +8,20 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|all] [--micro]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|all] [--micro] [--out PATH]";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro = List.mem "--micro" args in
+  (* --out PATH redirects obs-json's output file. *)
+  let rec split_out acc = function
+    | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--out" :: [] -> usage ()
+    | a :: rest -> split_out (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let out, args = split_out [] args in
   let targets = List.filter (fun a -> a <> "--micro") args in
   print_endline
     "Reimplementing the Cedar File System Using Logging and Group Commit";
@@ -35,7 +43,7 @@ let () =
     | "vam-logging" -> Bench_tables.vam_logging ()
     | "log-size" -> Bench_tables.log_size ()
     | "fragmentation" -> Bench_tables.fragmentation ()
-    | "obs-json" -> Obs_json.run ()
+    | "obs-json" -> Obs_json.run ?out ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()
   in

@@ -13,6 +13,9 @@
      cedar scavenge vol.img              rebuild metadata from leader pages
      cedar stats vol.img [--json]        per-op I/O + log tables (Tables 2-4)
      cedar trace vol.img [--limit N]     dump the event trace of a scripted run
+     cedar trace vol.img --chrome out.json   export the span tree for Perfetto
+     cedar profile vol.img [--json]      latency + group-commit profiles
+     cedar blackbox vol.img [--json]     decode the on-disk flight recorder
 
    Mutating commands shut the file system down cleanly before saving the
    image; [crash] deliberately skips that, so the next boot exercises
@@ -196,9 +199,16 @@ let cmd_info path =
 let cmd_crash path =
   guard @@ fun () ->
   let device = load_device path in
+  (* Trace while crashing so the group-commit forces checkpoint the
+     black box: [cedar blackbox] then has a story to tell. *)
+  Cedar_obs.Trace.enable (Device.trace device);
   let vol = boot_vol device in
   let ops = ops_of vol in
-  (* a little uncommitted work makes the next recovery interesting *)
+  (* a little committed work for the flight recorder, then an
+     uncommitted create to make the next recovery interesting *)
+  ignore
+    (ops.Cedar_fsbase.Fs_ops.create ~name:"pre-crash" ~data:(Bytes.create 640));
+  ops.Cedar_fsbase.Fs_ops.force ();
   ignore (ops.Cedar_fsbase.Fs_ops.create ~name:"crash-marker" ~data:(Bytes.create 42));
   save_device device path;
   Printf.printf "%s now looks like a crashed volume (uncommitted create pending)\n" path
@@ -317,8 +327,11 @@ let cmd_stats path json =
 
 (* Tracing is enabled BEFORE boot so recovery-phase and VAM-rebuild
    events are captured too. *)
-let cmd_trace path limit =
+let cmd_trace path limit chrome =
   guard @@ fun () ->
+  (match limit with
+  | Some n when n <= 0 -> fail "--limit must be a positive entry count (got %d)" n
+  | Some _ | None -> ());
   let device = load_device path in
   Obs.Trace.enable (Device.trace device);
   let vol = boot_vol device in
@@ -327,16 +340,95 @@ let cmd_trace path limit =
   Script.scripted ops;
   let tr = Device.trace device in
   let entries = Obs.Trace.to_list tr in
-  let entries =
-    match limit with
-    | None -> entries
-    | Some n ->
-      let len = List.length entries in
-      List.filteri (fun i _ -> i >= len - n) entries
-  in
-  List.iter (fun e -> Format.printf "%a@." Obs.Trace.pp_entry e) entries;
-  Printf.printf "(%d entries buffered, %d dropped)\n" (Obs.Trace.length tr)
-    (Obs.Trace.dropped tr)
+  match chrome with
+  | Some out ->
+    let oc = open_out out in
+    output_string oc (Obs.Jsonb.to_string (Obs.Export.chrome entries));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf
+      "wrote %d trace entries as Chrome trace events to %s (load in \
+       about://tracing or ui.perfetto.dev)\n"
+      (List.length entries) out
+  | None ->
+    let shown =
+      match limit with
+      | None -> entries
+      | Some n ->
+        let len = List.length entries in
+        List.filteri (fun i _ -> i >= len - n) entries
+    in
+    List.iter (fun e -> Format.printf "%a@." Obs.Trace.pp_entry e) shown;
+    Printf.printf "(%d entries buffered, %d dropped)\n" (Obs.Trace.length tr)
+      (Obs.Trace.dropped tr)
+
+(* Fold the scripted run's trace into latency / group-commit profiles
+   (the volume is not saved, like [stats]). *)
+let cmd_profile path json =
+  with_volume ~save:false path (fun vol ->
+      let ops = ops_of vol in
+      let device = ops.Cedar_fsbase.Fs_ops.device in
+      Script.warmup ops;
+      let tr = Device.trace device in
+      Obs.Trace.enable tr;
+      Script.scripted ops;
+      Obs.Trace.disable tr;
+      let reg = Device.metrics device in
+      let prof =
+        Obs.Profile.of_entries
+          ?fnt_dirty_age_us:(Obs.Metrics.read_dist reg "fnt.dirty_page_age_us")
+          (Obs.Trace.to_list tr)
+      in
+      if json then
+        print_endline
+          (Obs.Jsonb.to_string_pretty
+             (Obs.Jsonb.Obj
+                [
+                  ( "workload",
+                    Obs.Jsonb.Obj
+                      [
+                        ("files", Obs.Jsonb.Int Script.n);
+                        ("bytes_each", Obs.Jsonb.Int Script.bytes_each);
+                      ] );
+                  ("profile", Obs.Profile.to_json prof);
+                ]))
+      else begin
+        Printf.printf "scripted workload: %d files of %d bytes under %s/\n\n"
+          Script.n Script.bytes_each Script.dir;
+        Format.printf "%a@." Obs.Profile.pp prof
+      end)
+
+(* Decode the on-disk flight recorder WITHOUT booting: no recovery runs,
+   so this is the pre-crash view — what the system believed at its last
+   group-commit force. Only the boot page is trusted (for the layout
+   parameters); the black-box region itself is CRC-guarded. *)
+let cmd_blackbox path json limit =
+  guard @@ fun () ->
+  (match limit with
+  | Some n when n <= 0 -> fail "--limit must be a positive event count (got %d)" n
+  | Some _ | None -> ());
+  let device = load_device path in
+  match Cedar_fsd.Boot_page.read device with
+  | None -> fail "%s is not an FSD volume (no boot page)" path
+  | Some bp ->
+    let geom = Device.geometry device in
+    let p =
+      {
+        (Cedar_fsd.Params.for_geometry geom) with
+        Cedar_fsd.Params.fnt_page_sectors = bp.Cedar_fsd.Boot_page.fnt_page_sectors;
+        fnt_pages = bp.Cedar_fsd.Boot_page.fnt_pages;
+        log_sectors = bp.Cedar_fsd.Boot_page.log_sectors;
+        log_vam = bp.Cedar_fsd.Boot_page.log_vam;
+        track_tolerant_log = bp.Cedar_fsd.Boot_page.track_tolerant_log;
+      }
+    in
+    let layout = Cedar_fsd.Layout.compute geom p in
+    (match Cedar_fsd.Blackbox.read device layout with
+    | Error m -> fail "%s" m
+    | Ok cp ->
+      if json then
+        print_endline (Obs.Jsonb.to_string_pretty (Cedar_fsd.Blackbox.to_json ?limit cp))
+      else Format.printf "%a" (Cedar_fsd.Blackbox.pp ?limit) cp)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
@@ -421,12 +513,51 @@ let trace_cmd =
       & opt (some int) None
       & info [ "limit" ] ~docv:"N" ~doc:"print only the last $(docv) entries")
   in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:
+            "write the trace as Chrome trace-event JSON to $(docv) (viewable in \
+             about://tracing or Perfetto) instead of dumping entries")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "boot with tracing enabled (capturing recovery events), run the \
           scripted workload and dump the event trace")
-    Term.(const cmd_trace $ img $ limit)
+    Term.(const cmd_trace $ img $ limit $ chrome)
+
+let profile_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit one JSON object instead of tables")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "run the scripted workload with tracing on and print per-op latency \
+          distributions, ops-per-force and force-interval histograms, and the \
+          log-third occupancy timeline (the image is not modified)")
+    Term.(const cmd_profile $ img $ json)
+
+let blackbox_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit one JSON object")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"show only the last $(docv) events")
+  in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:
+         "decode the on-disk flight recorder without booting: the last trace \
+          events, the in-flight operations, and the log/VAM state the system \
+          believed it had at its final checkpoint before a crash")
+    Term.(const cmd_blackbox $ img $ json $ limit)
 
 let () =
   let doc = "simulated Cedar file-system volumes (Hagmann, SOSP 1987)" in
@@ -446,4 +577,6 @@ let () =
             scavenge_cmd;
             stats_cmd;
             trace_cmd;
+            profile_cmd;
+            blackbox_cmd;
           ]))

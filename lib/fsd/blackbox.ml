@@ -1,0 +1,326 @@
+open Cedar_util
+open Cedar_disk
+module Trace = Cedar_obs.Trace
+module Jsonb = Cedar_obs.Jsonb
+module W = Bytebuf.Writer
+module R = Bytebuf.Reader
+
+type state = {
+  gen : int64;
+  at_us : int;
+  reason : string;
+  boot_count : int;
+  next_record_no : int64;
+  log_write_off : int;
+  log_third : int;
+  free_sectors : int;
+  pending_leaders : int;
+  dirty_fnt_pages : int;
+}
+
+type checkpoint = {
+  slot : int;
+  state : state;
+  in_flight : (string * string * int) list;
+  events : Trace.entry list;
+}
+
+let header_magic = 0x43424231 (* "CBB1" *)
+let version = 1
+
+(* The header carries everything needed to judge the slot: the state
+   snapshot itself, the payload length and CRC (a torn slot write leaves
+   a stale or zeroed tail, which the payload CRC catches), and its own
+   CRC (a torn or damaged header sector). *)
+
+type header = {
+  h_state : state;
+  h_event_count : int;
+  h_payload_len : int;
+  h_payload_crc : int;
+}
+
+let encode_header ~sector_bytes h =
+  let s = h.h_state in
+  let w = W.create () in
+  W.u32 w header_magic;
+  W.u8 w version;
+  W.u64 w s.gen;
+  W.i64 w s.at_us;
+  W.string w s.reason;
+  W.u32 w s.boot_count;
+  W.u64 w s.next_record_no;
+  W.u32 w s.log_write_off;
+  W.u8 w s.log_third;
+  W.u32 w s.free_sectors;
+  W.u16 w s.pending_leaders;
+  W.u16 w s.dirty_fnt_pages;
+  W.u16 w h.h_event_count;
+  W.u32 w h.h_payload_len;
+  W.u32 w h.h_payload_crc;
+  W.u32 w (Crc32.bytes (W.contents w));
+  W.to_sector w ~size:sector_bytes
+
+let decode_header img =
+  let r = R.of_bytes img in
+  match
+    let magic = R.u32 r in
+    if magic <> header_magic then None
+    else if R.u8 r <> version then None
+    else begin
+      let gen = R.u64 r in
+      let at_us = R.i64 r in
+      let reason = R.string r in
+      let boot_count = R.u32 r in
+      let next_record_no = R.u64 r in
+      let log_write_off = R.u32 r in
+      let log_third = R.u8 r in
+      let free_sectors = R.u32 r in
+      let pending_leaders = R.u16 r in
+      let dirty_fnt_pages = R.u16 r in
+      let h_event_count = R.u16 r in
+      let h_payload_len = R.u32 r in
+      let h_payload_crc = R.u32 r in
+      let body = R.pos r in
+      let crc = R.u32 r in
+      if crc <> Crc32.bytes (Bytes.sub img 0 body) then None
+      else
+        Some
+          {
+            h_state =
+              {
+                gen;
+                at_us;
+                reason;
+                boot_count;
+                next_record_no;
+                log_write_off;
+                log_third;
+                free_sectors;
+                pending_leaders;
+                dirty_fnt_pages;
+              };
+            h_event_count;
+            h_payload_len;
+            h_payload_crc;
+          }
+    end
+  with
+  | v -> v
+  | exception Bytebuf.Decode_error _ -> None
+
+let sector_bytes device = (Device.geometry device).Geometry.sector_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Writing a checkpoint                                                 *)
+
+let write device layout ~slot ~state ~in_flight ~entries =
+  let sb = sector_bytes device in
+  let slot_sectors = layout.Layout.blackbox_slot_sectors in
+  let cap = (slot_sectors - 1) * sb in
+  let wif = W.create () in
+  W.u16 wif (List.length in_flight);
+  List.iter
+    (fun (op, name, t0) ->
+      W.string wif op;
+      W.string wif name;
+      W.i64 wif t0)
+    in_flight;
+  let in_flight_bytes = W.contents wif in
+  let budget = cap - Bytes.length in_flight_bytes in
+  (* Keep the newest events that fit, encoding newest-backwards; the
+     kept suffix is then laid out oldest first. *)
+  let rec keep acc used = function
+    | [] -> acc
+    | e :: rest ->
+      let w = W.create () in
+      Trace.encode_entry w e;
+      let b = W.contents w in
+      let used = used + Bytes.length b in
+      if used > budget then acc else keep (b :: acc) used rest
+  in
+  let kept = keep [] 0 (List.rev entries) in
+  let wp = W.create () in
+  W.raw wp in_flight_bytes;
+  List.iter (W.raw wp) kept;
+  let payload = W.contents wp in
+  let header =
+    encode_header ~sector_bytes:sb
+      {
+        h_state = state;
+        h_event_count = List.length kept;
+        h_payload_len = Bytes.length payload;
+        h_payload_crc = Crc32.bytes payload;
+      }
+  in
+  let img = Bytes.make (slot_sectors * sb) '\000' in
+  Bytes.blit header 0 img 0 sb;
+  Bytes.blit payload 0 img sb (Bytes.length payload);
+  (* One command for the whole slot: a crash mid-command leaves this
+     slot torn (caught by CRC) and the other slot untouched. *)
+  Device.write_run device ~sector:(Layout.blackbox_slot_sector layout ~slot) img;
+  List.length kept
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+
+let rec read_n acc n f r = if n = 0 then List.rev acc else read_n (f r :: acc) (n - 1) f r
+
+let slot_image device layout slot =
+  match
+    Device.read_run device
+      ~sector:(Layout.blackbox_slot_sector layout ~slot)
+      ~count:layout.Layout.blackbox_slot_sectors
+  with
+  | exception Device.Error _ -> None
+  | img -> Some img
+
+let checkpoint_of_image ~sb ~slot_sectors slot img =
+  match decode_header img with
+  | None -> None
+  | Some h ->
+    if h.h_payload_len < 0 || h.h_payload_len > (slot_sectors - 1) * sb then None
+    else begin
+      let payload = Bytes.sub img sb h.h_payload_len in
+      if Crc32.bytes payload <> h.h_payload_crc then None
+      else begin
+        match
+          let r = R.of_bytes payload in
+          let n = R.u16 r in
+          let in_flight =
+            read_n [] n
+              (fun r ->
+                let op = R.string r in
+                let name = R.string r in
+                let t0 = R.i64 r in
+                (op, name, t0))
+              r
+          in
+          let events = read_n [] h.h_event_count Trace.decode_entry r in
+          (in_flight, events)
+        with
+        | exception Bytebuf.Decode_error _ -> None
+        | in_flight, events -> Some { slot; state = h.h_state; in_flight; events }
+      end
+    end
+
+let read_slot device layout slot =
+  match slot_image device layout slot with
+  | None -> None
+  | Some img ->
+    checkpoint_of_image ~sb:(sector_bytes device)
+      ~slot_sectors:layout.Layout.blackbox_slot_sectors slot img
+
+let read device layout =
+  match (read_slot device layout 0, read_slot device layout 1) with
+  | None, None -> Error "no valid black-box checkpoint in either slot"
+  | Some c, None | None, Some c -> Ok c
+  | Some a, Some b ->
+    Ok (if Int64.compare a.state.gen b.state.gen >= 0 then a else b)
+
+let probe device layout =
+  (* The next generation must exceed anything ever written, including a
+     torn slot whose header survived; the next slot overwrites the torn
+     (or older) slot, never the newest fully-valid checkpoint. One read
+     per slot — the header and validity checks share the image. *)
+  let sb = sector_bytes device in
+  let slot_sectors = layout.Layout.blackbox_slot_sectors in
+  let probe_slot slot =
+    match slot_image device layout slot with
+    | None -> (None, None)
+    | Some img ->
+      ( Option.map (fun h -> h.h_state.gen) (decode_header img),
+        checkpoint_of_image ~sb ~slot_sectors slot img )
+  in
+  let g0, c0 = probe_slot 0 in
+  let g1, c1 = probe_slot 1 in
+  let max_gen =
+    List.fold_left
+      (fun acc g -> match g with Some g when Int64.compare g acc > 0 -> g | _ -> acc)
+      0L [ g0; g1 ]
+  in
+  let next_slot =
+    match (c0, c1) with
+    | None, None -> 0
+    | Some _, None -> 1
+    | None, Some _ -> 0
+    | Some a, Some b -> if Int64.compare a.state.gen b.state.gen >= 0 then 1 else 0
+  in
+  (Int64.add max_gen 1L, next_slot)
+
+let format device layout =
+  let sb = sector_bytes device in
+  Device.write_run device ~sector:layout.Layout.blackbox_start
+    (Bytes.make (layout.Layout.blackbox_sectors * sb) '\000')
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let ms us = float_of_int us /. 1000.
+
+let take_last n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let pp ?limit ppf c =
+  let s = c.state in
+  Format.fprintf ppf "black box: gen %Ld (slot %d), written t=%.3fms, reason %s, boot %d@."
+    s.gen c.slot (ms s.at_us) s.reason s.boot_count;
+  Format.fprintf ppf "  log: next record %Ld, write offset %d sectors, active third %d@."
+    s.next_record_no s.log_write_off s.log_third;
+  Format.fprintf ppf "  vam: %d free sectors; %d pending leader writes; %d dirty fnt pages@."
+    s.free_sectors s.pending_leaders s.dirty_fnt_pages;
+  (match c.in_flight with
+  | [] -> Format.fprintf ppf "  in-flight: none@."
+  | spans ->
+    Format.fprintf ppf "  in-flight (innermost first):@.";
+    List.iter
+      (fun (op, name, t0) ->
+        Format.fprintf ppf "    %s %S since t=%.3fms@." op name (ms t0))
+      spans);
+  let shown = match limit with None -> c.events | Some n -> take_last n c.events in
+  Format.fprintf ppf "  last %d of %d checkpointed events:@." (List.length shown)
+    (List.length c.events);
+  List.iter (fun e -> Format.fprintf ppf "    %a@." Trace.pp_entry e) shown
+
+let to_json ?limit c =
+  let s = c.state in
+  let shown = match limit with None -> c.events | Some n -> take_last n c.events in
+  Jsonb.Obj
+    [
+      ("gen", Jsonb.Int (Int64.to_int s.gen));
+      ("slot", Jsonb.Int c.slot);
+      ("at_us", Jsonb.Int s.at_us);
+      ("reason", Jsonb.Str s.reason);
+      ("boot_count", Jsonb.Int s.boot_count);
+      ("next_record_no", Jsonb.Int (Int64.to_int s.next_record_no));
+      ("log_write_off", Jsonb.Int s.log_write_off);
+      ("log_third", Jsonb.Int s.log_third);
+      ("free_sectors", Jsonb.Int s.free_sectors);
+      ("pending_leaders", Jsonb.Int s.pending_leaders);
+      ("dirty_fnt_pages", Jsonb.Int s.dirty_fnt_pages);
+      ( "in_flight",
+        Jsonb.Arr
+          (List.map
+             (fun (op, name, t0) ->
+               Jsonb.Obj
+                 [
+                   ("op", Jsonb.Str op);
+                   ("name", Jsonb.Str name);
+                   ("since_us", Jsonb.Int t0);
+                 ])
+             c.in_flight) );
+      ("events_total", Jsonb.Int (List.length c.events));
+      ( "events",
+        Jsonb.Arr
+          (List.map
+             (fun (e : Trace.entry) ->
+               Jsonb.Obj
+                 [
+                   ("seq", Jsonb.Int e.Trace.seq);
+                   ("span", Jsonb.Int e.Trace.span);
+                   ("at_us", Jsonb.Int e.Trace.at_us);
+                   ("event", Jsonb.Str (Format.asprintf "%a" Trace.pp_event e.Trace.event));
+                 ])
+             shown) );
+    ]

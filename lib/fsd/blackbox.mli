@@ -1,0 +1,68 @@
+(** On-disk black-box flight recorder (DESIGN.md §11).
+
+    Two generation slots live at a fixed address right after the boot
+    pages ({!Layout.blackbox_start}). On every non-empty group-commit
+    force, and on clean shutdown, the FSD writes the tail of the live
+    event trace plus a snapshot of the log/VAM state it believes it has
+    into the slot {e not} holding the newest checkpoint — one
+    multi-sector command, so a crash mid-checkpoint tears only that slot.
+    The header carries the generation number, a payload CRC, and its own
+    CRC: a torn write fails one of the CRCs and {!read} falls back to the
+    other slot's generation.
+
+    Because the region is at a fixed, parameter-independent address,
+    [cedar blackbox] can decode it after a crash without booting (and
+    therefore without running recovery), showing what the system was
+    doing at the instant it died. *)
+
+type state = {
+  gen : int64;  (** checkpoint generation, strictly increasing *)
+  at_us : int;  (** virtual time the checkpoint was taken *)
+  reason : string;  (** ["force"] or ["shutdown"] *)
+  boot_count : int;
+  next_record_no : int64;  (** log record number the next append gets *)
+  log_write_off : int;  (** sectors into the log body *)
+  log_third : int;
+  free_sectors : int;  (** VAM free count the system believed it had *)
+  pending_leaders : int;  (** leader writes queued behind the next force *)
+  dirty_fnt_pages : int;
+}
+
+type checkpoint = {
+  slot : int;
+  state : state;
+  in_flight : (string * string * int) list;
+      (** open spans, innermost first: (op, name, started at) *)
+  events : Cedar_obs.Trace.entry list;  (** checkpointed tail, oldest first *)
+}
+
+val write :
+  Cedar_disk.Device.t ->
+  Layout.t ->
+  slot:int ->
+  state:state ->
+  in_flight:(string * string * int) list ->
+  entries:Cedar_obs.Trace.entry list ->
+  int
+(** Checkpoint into [slot]; [entries] oldest first. As many of the
+    newest entries as fit the slot are kept; returns how many. *)
+
+val read : Cedar_disk.Device.t -> Layout.t -> (checkpoint, string) result
+(** Decode the newest fully-valid checkpoint, preferring the higher
+    generation; a slot whose header or payload CRC fails is skipped. *)
+
+val probe : Cedar_disk.Device.t -> Layout.t -> int64 * int
+(** [(next_gen, next_slot)] for the next checkpoint: [next_gen] exceeds
+    every generation ever written (a torn slot's surviving header still
+    counts), and [next_slot] is the slot {e not} holding the newest
+    fully-valid checkpoint, so the good generation is never overwritten
+    by a write that might tear. *)
+
+val format : Cedar_disk.Device.t -> Layout.t -> unit
+(** Zero the whole region (both slots), invalidating stale checkpoints
+    from a previous file system on the same volume. *)
+
+val pp : ?limit:int -> Format.formatter -> checkpoint -> unit
+(** Human rendering; [limit] caps the events shown (newest kept). *)
+
+val to_json : ?limit:int -> checkpoint -> Cedar_obs.Jsonb.t

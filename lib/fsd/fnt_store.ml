@@ -7,6 +7,7 @@ type cached = {
   mutable dirty : bool;
   mutable modified : bool; (* changed since last logged *)
   mutable third : int option; (* where the image was last logged *)
+  mutable dirtied_at : int; (* virtual time the page last became dirty *)
 }
 
 type anchor = {
@@ -23,6 +24,7 @@ type t = {
   mutable note_dirty : int -> unit;
   mutable home_writes : int;
   mutable repairs : int;
+  dirty_age : Stats.t; (* dirty-to-home-write latency per page flush *)
 }
 
 let trailer_bytes = 16
@@ -208,11 +210,13 @@ let mk device layout anchor =
       note_dirty = (fun _ -> ());
       home_writes = 0;
       repairs = 0;
+      dirty_age = Stats.create ();
     }
   in
   let m = Device.metrics device in
   Cedar_obs.Metrics.gauge m "fnt.home_writes" (fun () -> t.home_writes);
   Cedar_obs.Metrics.gauge m "fnt.repairs" (fun () -> t.repairs);
+  Cedar_obs.Metrics.register_dist m "fnt.dirty_page_age_us" t.dirty_age;
   t
 
 let create_fresh device layout =
@@ -247,11 +251,13 @@ let read t page =
   | Some c -> Bytes.copy c.payload
   | None ->
     let payload = read_home t page in
-    insert_cache t page { payload; dirty = false; modified = false; third = None };
+    insert_cache t page
+      { payload; dirty = false; modified = false; third = None; dirtied_at = 0 };
     Bytes.copy payload
 
 let write t page payload =
   if Bytes.length payload <> page_bytes t then invalid_arg "Fnt_store.write: size";
+  let now = Simclock.now (Device.clock t.device) in
   (match Lru.peek t.cache page with
   | Some c ->
     c.payload <- Bytes.copy payload;
@@ -259,11 +265,18 @@ let write t page payload =
     if not c.dirty then begin
       c.dirty <- true;
       c.third <- None;
+      c.dirtied_at <- now;
       Lru.pin t.cache page
     end
   | None ->
     insert_cache t page
-      { payload = Bytes.copy payload; dirty = true; modified = true; third = None });
+      {
+        payload = Bytes.copy payload;
+        dirty = true;
+        modified = true;
+        third = None;
+        dirtied_at = now;
+      });
   t.note_dirty page
 
 (* Anchor mutations are ordinary writes of page 0. *)
@@ -337,11 +350,11 @@ let mark_logged t pages ~third =
 
 let home_write t page c =
   write_home_image t.device t.layout ~page (frame t.layout ~page c.payload);
+  let now = Simclock.now (Device.clock t.device) in
   let tr = Device.trace t.device in
   if Cedar_obs.Trace.enabled tr then
-    Cedar_obs.Trace.emit tr
-      ~at:(Simclock.now (Device.clock t.device))
-      (Cedar_obs.Trace.Fnt_write_twice { page });
+    Cedar_obs.Trace.emit tr ~at:now (Cedar_obs.Trace.Fnt_write_twice { page });
+  Stats.add t.dirty_age (float_of_int (now - c.dirtied_at));
   t.home_writes <- t.home_writes + 1;
   c.dirty <- false;
   c.third <- None;

@@ -45,6 +45,8 @@ type meters = {
   m_scrub_passes : Metrics.counter;
   m_scrub_fnt_repairs : Metrics.counter;
   m_scrub_leader_repairs : Metrics.counter;
+  m_blackbox_checkpoints : Metrics.counter;
+  m_blackbox_sectors : Metrics.counter;
   m_op_us : Stats.t;  (** virtual latency per FSD operation *)
 }
 
@@ -68,6 +70,7 @@ type t = {
   mutable last_scrub : int;
   mutable scrub_page_cursor : int; (* next FNT page pair to verify *)
   mutable scrub_key_cursor : string; (* next name-table key whose leader to verify *)
+  mutable bb_next : (int64 * int) option; (* next black-box (gen, slot) *)
   boot_count : int;
   meters : meters;
 }
@@ -83,6 +86,8 @@ let mk_meters reg =
     m_scrub_passes = Metrics.counter reg "fsd.scrub_passes";
     m_scrub_fnt_repairs = Metrics.counter reg "fsd.scrub_fnt_repairs";
     m_scrub_leader_repairs = Metrics.counter reg "fsd.scrub_leader_repairs";
+    m_blackbox_checkpoints = Metrics.counter reg "fsd.blackbox_checkpoints";
+    m_blackbox_sectors = Metrics.counter reg "fsd.blackbox_sectors";
     m_op_us = Metrics.dist reg "fsd.op_us";
   }
 
@@ -213,6 +218,53 @@ let note_logged t batch ~third =
       | Log.Fnt_page _ -> ())
     batch
 
+(* Checkpoint the tail of the live trace into the on-disk black box
+   (DESIGN.md §11). Only meaningful while tracing is on — the trace tail
+   *is* the payload. The snapshot is taken before the "blackbox" span
+   opens so the checkpoint never records itself; the slot write (and, on
+   the first checkpoint of a boot, the probe reads deciding which slot
+   and generation come next) then lands inside that span, keeping the
+   recorder's I/O out of the forcing op's column in the table replays. *)
+let checkpoint_blackbox t ~reason =
+  let tr = Device.trace t.device in
+  if Trace.enabled tr then begin
+    let entries = Trace.last tr 512 in
+    let in_flight =
+      List.map (fun (_, op, name, t0) -> (op, name, t0)) (Trace.open_spans tr)
+    in
+    let id = Trace.begin_span tr ~at:(now t) ~op:"blackbox" ~name:reason in
+    let gen, slot =
+      match t.bb_next with
+      | Some v -> v
+      | None ->
+        let v = Blackbox.probe t.device t.layout in
+        t.bb_next <- Some v;
+        v
+    in
+    let state =
+      {
+        Blackbox.gen;
+        at_us = now t;
+        reason;
+        boot_count = t.boot_count;
+        next_record_no = Log.next_record_no t.log;
+        log_write_off = Log.write_off t.log;
+        log_third = Log.current_third t.log;
+        free_sectors = free_sectors t;
+        pending_leaders = Hashtbl.length t.pending_leaders;
+        dirty_fnt_pages = List.length (Fnt_store.dirty_pages t.store);
+      }
+    in
+    let kept = Blackbox.write t.device t.layout ~slot ~state ~in_flight ~entries in
+    Metrics.inc t.meters.m_blackbox_checkpoints;
+    Metrics.add t.meters.m_blackbox_sectors t.layout.Layout.blackbox_slot_sectors;
+    emit t
+      (Trace.Blackbox_checkpoint
+         { gen; events = kept; sectors = t.layout.Layout.blackbox_slot_sectors });
+    Trace.end_span tr ~at:(now t) id;
+    t.bb_next <- Some (Int64.add gen 1L, 1 - slot)
+  end
+
 let do_force t =
   require_live t;
   let pages = Fnt_store.pages_to_log t.store in
@@ -288,6 +340,9 @@ let do_force t =
     end;
     Metrics.inc t.meters.m_forces;
     emit t (Trace.Log_force { units = List.length units; empty = false });
+    (* An empty force changes no durable state, so only real commits are
+       checkpointed; the recorder's cost scales with commit activity. *)
+    checkpoint_blackbox t ~reason:"force";
     t.last_force <- now t
   end
 
@@ -935,6 +990,7 @@ let format device params =
   let layout = Layout.compute geom params in
   let store = Fnt_store.create_fresh device layout in
   Fnt_store.flush_anchor store;
+  Blackbox.format device layout;
   Log.format device layout;
   Vam.save (Vam.create_all_free layout) device;
   Boot_page.write device ~sector_bytes:geom.Geometry.sector_bytes
@@ -1130,6 +1186,7 @@ let boot ?params device =
       last_scrub = Simclock.now clock;
       scrub_page_cursor = 0;
       scrub_key_cursor = "";
+      bb_next = None;
       boot_count;
       meters = mk_meters (Device.metrics device);
     }
@@ -1187,6 +1244,7 @@ let shutdown t =
     (Alloc.vam t.alloc) t.device;
   ignore (Vam.drain_dirty_chunks (Alloc.vam t.alloc) : int list);
   Hashtbl.reset t.chunk_thirds;
+  checkpoint_blackbox t ~reason:"shutdown";
   Boot_page.write t.device ~sector_bytes:(sector_bytes t)
     {
       Boot_page.boot_count = t.boot_count;

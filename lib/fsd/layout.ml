@@ -5,6 +5,9 @@ type t = {
   params : Params.t;
   boot_a : int;
   boot_b : int;
+  blackbox_start : int;
+  blackbox_slot_sectors : int;
+  blackbox_sectors : int;
   vam_start : int;
   vam_sectors : int;
   fnt_a_start : int;
@@ -23,10 +26,13 @@ let compute geom params =
   | Ok () -> ()
   | Error m -> invalid_arg ("Layout.compute: " ^ m));
   let total = Geometry.total_sectors geom in
+  let blackbox_start = 3 in
+  let vam_start = blackbox_start + Params.blackbox_sectors in
   let vam_sectors = 1 + ((total + 4095) / 4096) in
+  let small_lo = vam_start + vam_sectors in
   let fnt_sectors = params.Params.fnt_pages * params.Params.fnt_page_sectors in
   let block = (2 * fnt_sectors) + params.Params.log_sectors in
-  let block_start = max ((total / 2) - (block / 2)) (3 + vam_sectors + 1) in
+  let block_start = max ((total / 2) - (block / 2)) (small_lo + 1) in
   let fnt_a_start = block_start in
   let log_start = fnt_a_start + fnt_sectors in
   let fnt_b_start = log_start + params.Params.log_sectors in
@@ -37,14 +43,17 @@ let compute geom params =
     params;
     boot_a = 0;
     boot_b = 2;
-    vam_start = 3;
+    blackbox_start;
+    blackbox_slot_sectors = Params.blackbox_slot_sectors;
+    blackbox_sectors = Params.blackbox_sectors;
+    vam_start;
     vam_sectors;
     fnt_a_start;
     fnt_b_start;
     fnt_sectors;
     log_start;
     log_sectors = params.Params.log_sectors;
-    small_lo = 3 + vam_sectors;
+    small_lo;
     small_hi = block_start;
     big_lo = block_end;
     big_hi = total;
@@ -65,10 +74,17 @@ let is_data_sector t s =
 
 let data_sectors t = t.small_hi - t.small_lo + (t.big_hi - t.big_lo)
 
+let blackbox_slot_sector t ~slot =
+  if slot < 0 || slot >= Params.blackbox_slots then
+    invalid_arg "Layout.blackbox_slot_sector";
+  t.blackbox_start + (slot * t.blackbox_slot_sectors)
+
 let pp ppf t =
   Format.fprintf ppf
-    "boot %d/%d vam [%d,%d) small [%d,%d) fntA [%d,%d) log [%d,%d) fntB [%d,%d) big [%d,%d)"
-    t.boot_a t.boot_b t.vam_start
+    "boot %d/%d blackbox [%d,%d) vam [%d,%d) small [%d,%d) fntA [%d,%d) log [%d,%d) fntB [%d,%d) big [%d,%d)"
+    t.boot_a t.boot_b t.blackbox_start
+    (t.blackbox_start + t.blackbox_sectors)
+    t.vam_start
     (t.vam_start + t.vam_sectors)
     t.small_lo t.small_hi t.fnt_a_start
     (t.fnt_a_start + t.fnt_sectors)

@@ -256,6 +256,7 @@ let attach device layout ~boot_count ~next_record_no ~write_off ~on_enter_third 
   }
 
 let current_third t = t.current_third
+let write_off t = t.write_off
 let stats t = t.stats
 let next_record_no t = t.next_record_no
 

@@ -66,6 +66,11 @@ val max_data_sectors_hard : Layout.t -> int
     tables must fit their sectors). *)
 
 val current_third : t -> int
+
+val write_off : t -> int
+(** Current append offset within the log body, in sectors (the black
+    box records it so a post-crash reader sees where the log stood). *)
+
 val stats : t -> stats
 
 val next_record_no : t -> int64

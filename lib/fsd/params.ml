@@ -19,6 +19,14 @@ type t = {
   scrub_leaders_per_pass : int;
 }
 
+(* Black-box flight-recorder region: two generation slots right after the
+   boot pages, each one header sector plus a payload holding the tail of
+   the event trace (DESIGN.md §11). Fixed size: the region must be
+   findable before any other metadata is trusted. *)
+let blackbox_slot_sectors = 16
+let blackbox_slots = 2
+let blackbox_sectors = blackbox_slot_sectors * blackbox_slots
+
 let default =
   {
     commit_interval_us = 500_000;
@@ -71,7 +79,9 @@ let validate g t =
   in
   let fnt_sectors = t.fnt_pages * t.fnt_page_sectors in
   let vam_sectors = 1 + ((total + 4095) / 4096) in
-  let metadata = 3 + vam_sectors + (2 * fnt_sectors) + t.log_sectors in
+  let metadata =
+    3 + blackbox_sectors + vam_sectors + (2 * fnt_sectors) + t.log_sectors
+  in
   if t.commit_interval_us < 0 then Error "negative commit interval"
   else if t.scrub_interval_us < 0 then Error "negative scrub interval"
   else if t.scrub_pages_per_pass < 0 || t.scrub_leaders_per_pass < 0 then

@@ -37,6 +37,20 @@ type t = {
   scrub_leaders_per_pass : int;  (** leaders verified per pass *)
 }
 
+val blackbox_slot_sectors : int
+(** Sectors per black-box flight-recorder slot: one CRC'd header sector
+    plus payload sectors holding the tail of the event trace. *)
+
+val blackbox_slots : int
+(** Number of alternating black-box generation slots (two, so a torn
+    checkpoint write never destroys the previous generation). *)
+
+val blackbox_sectors : int
+(** Total sectors reserved for the black-box region after the boot
+    pages ([blackbox_slot_sectors * blackbox_slots]). Fixed — not a
+    tuning field — so [cedar blackbox] can find it before any other
+    metadata is trusted. *)
+
 val default : t
 (** Sized for {!Cedar_disk.Geometry.trident_t300}. *)
 

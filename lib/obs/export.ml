@@ -1,0 +1,160 @@
+(* Chrome trace-event JSON (the about://tracing / Perfetto format).
+
+   Spans become complete "X" events: the Op_begin entry is matched to its
+   Op_end through the end entry's span field (which is the begin's seq),
+   so only balanced pairs are emitted and the B/E-imbalance class of
+   malformed traces cannot occur. Everything else becomes instant "i"
+   events. Timestamps are the simulated clock, already in microseconds —
+   exactly what the format wants. *)
+
+let tid_ops = 1
+let tid_device = 2
+let tid_log = 3
+let tid_meta = 4
+
+let base ~name ~cat ~ph ~ts ~tid rest =
+  ( ts,
+    Jsonb.Obj
+      ([
+         ("name", Jsonb.Str name);
+         ("cat", Jsonb.Str cat);
+         ("ph", Jsonb.Str ph);
+         ("ts", Jsonb.Int ts);
+         ("pid", Jsonb.Int 1);
+         ("tid", Jsonb.Int tid);
+       ]
+      @ rest) )
+
+let complete ~name ~cat ~ts ~dur ~tid args =
+  base ~name ~cat ~ph:"X" ~ts ~tid
+    (("dur", Jsonb.Int dur) :: (match args with [] -> [] | a -> [ ("args", Jsonb.Obj a) ]))
+
+let instant ~name ~cat ~ts ~tid args =
+  base ~name ~cat ~ph:"i" ~ts ~tid
+    (("s", Jsonb.Str "t") :: (match args with [] -> [] | a -> [ ("args", Jsonb.Obj a) ]))
+
+let chrome entries =
+  let begins : (int, Trace.entry) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      match e.Trace.event with
+      | Trace.Op_begin _ -> Hashtbl.replace begins e.Trace.seq e
+      | _ -> ())
+    entries;
+  let events = ref [] in
+  let push ev = events := ev :: !events in
+  List.iter
+    (fun (e : Trace.entry) ->
+      let ts = e.Trace.at_us in
+      match e.Trace.event with
+      | Trace.Op_begin _ -> () (* emitted as "X" at the matching end *)
+      | Trace.Op_end { op; us } -> begin
+        match Hashtbl.find_opt begins e.Trace.span with
+        | Some b ->
+          Hashtbl.remove begins e.Trace.span;
+          let name =
+            match b.Trace.event with Trace.Op_begin { name; _ } -> name | _ -> ""
+          in
+          push
+            (complete ~name:op ~cat:"op" ~ts:b.Trace.at_us ~dur:us ~tid:tid_ops
+               [ ("name", Jsonb.Str name); ("span", Jsonb.Int e.Trace.span) ])
+        | None ->
+          (* The begin fell off the ring; an instant marks the orphan end. *)
+          push (instant ~name:("end:" ^ op) ~cat:"op" ~ts ~tid:tid_ops [])
+      end
+      | Trace.Dev_read { sector; count; us } ->
+        push
+          (complete ~name:"read" ~cat:"device" ~ts ~dur:us ~tid:tid_device
+             [ ("sector", Jsonb.Int sector); ("count", Jsonb.Int count) ])
+      | Trace.Dev_write { sector; count; us } ->
+        push
+          (complete ~name:"write" ~cat:"device" ~ts ~dur:us ~tid:tid_device
+             [ ("sector", Jsonb.Int sector); ("count", Jsonb.Int count) ])
+      | Trace.Dev_seek { cylinders; us } ->
+        push
+          (complete ~name:"seek" ~cat:"device" ~ts ~dur:us ~tid:tid_device
+             [ ("cylinders", Jsonb.Int cylinders) ])
+      | Trace.Log_append { record_no; units; data_sectors; total_sectors; third } ->
+        push
+          (instant ~name:"log-append" ~cat:"log" ~ts ~tid:tid_log
+             [
+               ("record", Jsonb.Int (Int64.to_int record_no));
+               ("units", Jsonb.Int units);
+               ("data_sectors", Jsonb.Int data_sectors);
+               ("total_sectors", Jsonb.Int total_sectors);
+               ("third", Jsonb.Int third);
+             ])
+      | Trace.Log_force { units; empty } ->
+        push
+          (instant ~name:"log-force" ~cat:"log" ~ts ~tid:tid_log
+             [ ("units", Jsonb.Int units); ("empty", Jsonb.Bool empty) ])
+      | Trace.Blackbox_checkpoint { gen; events; sectors } ->
+        push
+          (instant ~name:"blackbox-checkpoint" ~cat:"log" ~ts ~tid:tid_log
+             [
+               ("gen", Jsonb.Int (Int64.to_int gen));
+               ("events", Jsonb.Int events);
+               ("sectors", Jsonb.Int sectors);
+             ])
+      | Trace.Fnt_write_twice { page } ->
+        push
+          (instant ~name:"fnt-write-twice" ~cat:"fsd" ~ts ~tid:tid_meta
+             [ ("page", Jsonb.Int page) ])
+      | Trace.Leader_piggyback { sector } ->
+        push
+          (instant ~name:"leader-piggyback" ~cat:"fsd" ~ts ~tid:tid_meta
+             [ ("sector", Jsonb.Int sector) ])
+      | Trace.Vam_rebuild { source; us } ->
+        push
+          (complete ~name:("vam-" ^ source) ~cat:"recovery" ~ts ~dur:us ~tid:tid_meta
+             [])
+      | Trace.Scrub_repair { target; loc } ->
+        push
+          (instant ~name:("scrub-" ^ target) ~cat:"fsd" ~ts ~tid:tid_meta
+             [ ("loc", Jsonb.Int loc) ])
+      | Trace.Scavenge_phase { phase; us } ->
+        push
+          (complete ~name:("scavenge-" ^ phase) ~cat:"recovery" ~ts ~dur:us
+             ~tid:tid_meta [])
+      | Trace.Recovery_phase { phase; us } ->
+        push
+          (complete ~name:("recovery-" ^ phase) ~cat:"recovery" ~ts ~dur:us
+             ~tid:tid_meta []))
+    entries;
+  (* Spans still open when the capture ended (in-flight at a crash). *)
+  Hashtbl.iter
+    (fun _ (b : Trace.entry) ->
+      match b.Trace.event with
+      | Trace.Op_begin { op; name } ->
+        push
+          (instant ~name:("unfinished:" ^ op) ~cat:"op" ~ts:b.Trace.at_us
+             ~tid:tid_ops
+             [ ("name", Jsonb.Str name) ])
+      | _ -> ())
+    begins;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
+  in
+  let thread_name tid name =
+    Jsonb.Obj
+      [
+        ("name", Jsonb.Str "thread_name");
+        ("ph", Jsonb.Str "M");
+        ("pid", Jsonb.Int 1);
+        ("tid", Jsonb.Int tid);
+        ("args", Jsonb.Obj [ ("name", Jsonb.Str name) ]);
+      ]
+  in
+  Jsonb.Obj
+    [
+      ("displayTimeUnit", Jsonb.Str "ms");
+      ( "traceEvents",
+        Jsonb.Arr
+          ([
+             thread_name tid_ops "operations";
+             thread_name tid_device "device";
+             thread_name tid_log "log";
+             thread_name tid_meta "metadata";
+           ]
+          @ List.map snd sorted) );
+    ]

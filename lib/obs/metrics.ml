@@ -41,10 +41,21 @@ let read_dist t name =
 
 type snapshot_value =
   | Int of int
-  | Dist of { n : int; mean : float; min : float; p50 : float; p95 : float; max : float }
+  | Dist of {
+      n : int;
+      mean : float;
+      min : float;
+      p50 : float;
+      p90 : float;
+      p95 : float;
+      p99 : float;
+      max : float;
+    }
 
 let snapshot_dist s =
-  if Stats.n s = 0 then Dist { n = 0; mean = 0.; min = 0.; p50 = 0.; p95 = 0.; max = 0. }
+  if Stats.n s = 0 then
+    Dist
+      { n = 0; mean = 0.; min = 0.; p50 = 0.; p90 = 0.; p95 = 0.; p99 = 0.; max = 0. }
   else
     Dist
       {
@@ -52,7 +63,9 @@ let snapshot_dist s =
         mean = Stats.mean s;
         min = Stats.min s;
         p50 = Stats.percentile s 0.5;
+        p90 = Stats.percentile s 0.9;
         p95 = Stats.percentile s 0.95;
+        p99 = Stats.percentile s 0.99;
         max = Stats.max s;
       }
 
@@ -83,7 +96,9 @@ let to_json t =
                  ("mean", Jsonb.Float d.mean);
                  ("min", Jsonb.Float d.min);
                  ("p50", Jsonb.Float d.p50);
+                 ("p90", Jsonb.Float d.p90);
                  ("p95", Jsonb.Float d.p95);
+                 ("p99", Jsonb.Float d.p99);
                  ("max", Jsonb.Float d.max);
                ] ))
        (snapshot t))
@@ -96,6 +111,7 @@ let pp ppf t =
       | Dist d ->
         if d.n = 0 then Format.fprintf ppf "%-32s (empty)@." name
         else
-          Format.fprintf ppf "%-32s n=%d mean=%.1f min=%.1f p50=%.1f p95=%.1f max=%.1f@."
-            name d.n d.mean d.min d.p50 d.p95 d.max)
+          Format.fprintf ppf
+            "%-32s n=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f@."
+            name d.n d.mean d.min d.p50 d.p90 d.p99 d.max)
     (snapshot t)

@@ -47,7 +47,16 @@ val read_dist : t -> string -> Cedar_util.Stats.t option
 
 type snapshot_value =
   | Int of int  (** counter or sampled gauge *)
-  | Dist of { n : int; mean : float; min : float; p50 : float; p95 : float; max : float }
+  | Dist of {
+      n : int;
+      mean : float;
+      min : float;
+      p50 : float;
+      p90 : float;
+      p95 : float;
+      p99 : float;
+      max : float;
+    }
 
 val snapshot : t -> (string * snapshot_value) list
 (** All instruments, sampled now, sorted by name. Empty distributions
@@ -55,6 +64,6 @@ val snapshot : t -> (string * snapshot_value) list
 
 val to_json : t -> Jsonb.t
 (** Deterministic (name-sorted) object; distributions become
-    [{n, mean, min, p50, p95, max}] sub-objects. *)
+    [{n, mean, min, p50, p90, p95, p99, max}] sub-objects. *)
 
 val pp : Format.formatter -> t -> unit

@@ -18,6 +18,7 @@ type event =
   | Recovery_phase of { phase : string; us : int }
   | Op_begin of { op : string; name : string }
   | Op_end of { op : string; us : int }
+  | Blackbox_checkpoint of { gen : int64; events : int; sectors : int }
 
 type entry = { seq : int; span : int; at_us : int; event : event }
 
@@ -28,8 +29,8 @@ type t = {
   mutable len : int;
   mutable next_seq : int;
   mutable dropped : int;
-  (* Open spans, innermost first: (span id, op, start time, start seq). *)
-  mutable spans : (int * string * int) list;
+  (* Open spans, innermost first: (span id, op, name, start time). *)
+  mutable spans : (int * string * string * int) list;
 }
 
 let create () =
@@ -67,7 +68,8 @@ let push t e =
     t.dropped <- t.dropped + 1
   end
 
-let current_span t = match t.spans with [] -> 0 | (id, _, _) :: _ -> id
+let current_span t = match t.spans with [] -> 0 | (id, _, _, _) :: _ -> id
+let open_spans t = t.spans
 
 let emit_in t ~span ~at event =
   let seq = t.next_seq in
@@ -82,7 +84,7 @@ let begin_span t ~at ~op ~name =
   if not t.on then 0
   else begin
     let id = emit_in t ~span:(current_span t) ~at (Op_begin { op; name }) in
-    t.spans <- (id, op, at) :: t.spans;
+    t.spans <- (id, op, name, at) :: t.spans;
     id
   end
 
@@ -90,7 +92,7 @@ let end_span t ~at id =
   if t.on && id <> 0 then begin
     (* Drop any inner spans abandoned by exception unwinding. *)
     let rec unwind = function
-      | (id', op, t0) :: rest when id' = id ->
+      | (id', op, _, t0) :: rest when id' = id ->
         t.spans <- rest;
         ignore (emit_in t ~span:id ~at (Op_end { op; us = at - t0 }) : int)
       | _ :: rest -> unwind rest
@@ -112,6 +114,156 @@ let to_list t =
   let acc = ref [] in
   iter t (fun e -> acc := e :: !acc);
   List.rev !acc
+
+let last t n =
+  let cap = Array.length t.buf in
+  let k = if n < t.len then n else t.len in
+  let acc = ref [] in
+  for i = t.len - 1 downto t.len - k do
+    acc := t.buf.((t.head + i) mod cap) :: !acc
+  done;
+  !acc
+
+(* Binary codec for black-box checkpoints. One byte of tag per event;
+   times as i64 (scavenges and long runs exceed 32 bits of microseconds). *)
+
+module W = Cedar_util.Bytebuf.Writer
+module R = Cedar_util.Bytebuf.Reader
+
+let encode_event w = function
+  | Dev_read { sector; count; us } ->
+    W.u8 w 0;
+    W.u32 w sector;
+    W.u32 w count;
+    W.i64 w us
+  | Dev_write { sector; count; us } ->
+    W.u8 w 1;
+    W.u32 w sector;
+    W.u32 w count;
+    W.i64 w us
+  | Dev_seek { cylinders; us } ->
+    W.u8 w 2;
+    W.u32 w cylinders;
+    W.i64 w us
+  | Log_append { record_no; units; data_sectors; total_sectors; third } ->
+    W.u8 w 3;
+    W.u64 w record_no;
+    W.u16 w units;
+    W.u16 w data_sectors;
+    W.u16 w total_sectors;
+    W.u8 w third
+  | Log_force { units; empty } ->
+    W.u8 w 4;
+    W.u16 w units;
+    W.bool w empty
+  | Fnt_write_twice { page } ->
+    W.u8 w 5;
+    W.u32 w page
+  | Leader_piggyback { sector } ->
+    W.u8 w 6;
+    W.u32 w sector
+  | Vam_rebuild { source; us } ->
+    W.u8 w 7;
+    W.string w source;
+    W.i64 w us
+  | Scrub_repair { target; loc } ->
+    W.u8 w 8;
+    W.string w target;
+    W.u32 w loc
+  | Scavenge_phase { phase; us } ->
+    W.u8 w 9;
+    W.string w phase;
+    W.i64 w us
+  | Recovery_phase { phase; us } ->
+    W.u8 w 10;
+    W.string w phase;
+    W.i64 w us
+  | Op_begin { op; name } ->
+    W.u8 w 11;
+    W.string w op;
+    W.string w name
+  | Op_end { op; us } ->
+    W.u8 w 12;
+    W.string w op;
+    W.i64 w us
+  | Blackbox_checkpoint { gen; events; sectors } ->
+    W.u8 w 13;
+    W.u64 w gen;
+    W.u16 w events;
+    W.u16 w sectors
+
+let decode_event r =
+  match R.u8 r with
+  | 0 ->
+    let sector = R.u32 r in
+    let count = R.u32 r in
+    let us = R.i64 r in
+    Dev_read { sector; count; us }
+  | 1 ->
+    let sector = R.u32 r in
+    let count = R.u32 r in
+    let us = R.i64 r in
+    Dev_write { sector; count; us }
+  | 2 ->
+    let cylinders = R.u32 r in
+    let us = R.i64 r in
+    Dev_seek { cylinders; us }
+  | 3 ->
+    let record_no = R.u64 r in
+    let units = R.u16 r in
+    let data_sectors = R.u16 r in
+    let total_sectors = R.u16 r in
+    let third = R.u8 r in
+    Log_append { record_no; units; data_sectors; total_sectors; third }
+  | 4 ->
+    let units = R.u16 r in
+    let empty = R.bool r in
+    Log_force { units; empty }
+  | 5 -> Fnt_write_twice { page = R.u32 r }
+  | 6 -> Leader_piggyback { sector = R.u32 r }
+  | 7 ->
+    let source = R.string r in
+    let us = R.i64 r in
+    Vam_rebuild { source; us }
+  | 8 ->
+    let target = R.string r in
+    let loc = R.u32 r in
+    Scrub_repair { target; loc }
+  | 9 ->
+    let phase = R.string r in
+    let us = R.i64 r in
+    Scavenge_phase { phase; us }
+  | 10 ->
+    let phase = R.string r in
+    let us = R.i64 r in
+    Recovery_phase { phase; us }
+  | 11 ->
+    let op = R.string r in
+    let name = R.string r in
+    Op_begin { op; name }
+  | 12 ->
+    let op = R.string r in
+    let us = R.i64 r in
+    Op_end { op; us }
+  | 13 ->
+    let gen = R.u64 r in
+    let events = R.u16 r in
+    let sectors = R.u16 r in
+    Blackbox_checkpoint { gen; events; sectors }
+  | n ->
+    raise (Cedar_util.Bytebuf.Decode_error (Printf.sprintf "trace event tag %d" n))
+
+let encode_entry w e =
+  W.i64 w e.seq;
+  W.i64 w e.span;
+  W.i64 w e.at_us;
+  encode_event w e.event
+
+let decode_entry r =
+  let seq = R.i64 r in
+  let span = R.i64 r in
+  let at_us = R.i64 r in
+  { seq; span; at_us; event = decode_event r }
 
 let pp_event ppf = function
   | Dev_read { sector; count; us } ->
@@ -139,6 +291,11 @@ let pp_event ppf = function
     Format.fprintf ppf "recovery-phase %s us=%d" phase us
   | Op_begin { op; name } -> Format.fprintf ppf "op-begin %s %S" op name
   | Op_end { op; us } -> Format.fprintf ppf "op-end %s us=%d" op us
+  | Blackbox_checkpoint { gen; events; sectors } ->
+    Format.fprintf ppf "blackbox-checkpoint gen=%Ld events=%d sectors=%d" gen
+      events sectors
 
 let pp_entry ppf e =
-  Format.fprintf ppf "#%d span=%d t=%dus %a" e.seq e.span e.at_us pp_event e.event
+  Format.fprintf ppf "#%d span=%d t=%.3fms %a" e.seq e.span
+    (float_of_int e.at_us /. 1000.)
+    pp_event e.event

@@ -1,0 +1,321 @@
+(* Black-box flight recorder, trace profiler and Chrome export: the
+   checkpoint/decode path, torn-write fallback, crash forensics, and the
+   hand-checked profile/percentile numbers (ISSUE 3). *)
+
+open Cedar_util
+open Cedar_disk
+open Cedar_fsbase
+open Cedar_fsd
+module Obs = Cedar_obs
+module Trace = Cedar_obs.Trace
+module Script = Cedar_workload.Obs_script
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+
+let fresh_volume ?(geom = Geometry.small_test) () =
+  let clock = Simclock.create () in
+  let device = Device.create ~clock geom in
+  Fsd.format device (Params.for_geometry geom);
+  device
+
+(* ------------------------------------------------------------------ *)
+(* Event codec                                                          *)
+
+let sample_events =
+  [
+    Trace.Dev_read { sector = 17; count = 4; us = 12_000 };
+    Trace.Dev_write { sector = 293_617; count = 21; us = 50_658 };
+    Trace.Dev_seek { cylinders = 406; us = 40_082 };
+    Trace.Log_append
+      {
+        record_no = 1_000_001L;
+        units = 2;
+        data_sectors = 8;
+        total_sectors = 21;
+        third = 1;
+      };
+    Trace.Log_force { units = 2; empty = false };
+    Trace.Fnt_write_twice { page = 5 };
+    Trace.Leader_piggyback { sector = 4_242 };
+    Trace.Vam_rebuild { source = "log"; us = 77 };
+    Trace.Scrub_repair { target = "leader"; loc = 9 };
+    Trace.Scavenge_phase { phase = "sweep"; us = 123 };
+    Trace.Recovery_phase { phase = "analysis"; us = 456 };
+    Trace.Op_begin { op = "create"; name = "a/b" };
+    Trace.Op_end { op = "create"; us = 17_364 };
+    Trace.Blackbox_checkpoint { gen = 3L; events = 64; sectors = 16 };
+  ]
+
+let entry_eq (a : Trace.entry) (b : Trace.entry) =
+  a.Trace.seq = b.Trace.seq
+  && a.Trace.span = b.Trace.span
+  && a.Trace.at_us = b.Trace.at_us
+  && a.Trace.event = b.Trace.event
+
+let test_codec_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let e =
+        { Trace.seq = 100 + i; span = i; at_us = 1_000 * i; event = ev }
+      in
+      let w = Bytebuf.Writer.create () in
+      Trace.encode_entry w e;
+      let r = Bytebuf.Reader.of_bytes (Bytebuf.Writer.contents w) in
+      let e' = Trace.decode_entry r in
+      check bool
+        (Format.asprintf "entry %d roundtrips (%a)" i Trace.pp_event ev)
+        true (entry_eq e e'))
+    sample_events
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint write/read and shutdown                                    *)
+
+let test_shutdown_checkpoint () =
+  let device = fresh_volume () in
+  Obs.Trace.enable (Device.trace device);
+  let fs = fst (Fsd.boot device) in
+  let ops = Fsd.ops fs in
+  for i = 0 to 19 do
+    ignore
+      (ops.Fs_ops.create
+         ~name:(Printf.sprintf "bb/f%02d" i)
+         ~data:(Bytes.make 700 'x')
+        : Fs_ops.info)
+  done;
+  ops.Fs_ops.force ();
+  Fsd.shutdown fs;
+  match Blackbox.read device (Fsd.layout fs) with
+  | Error m -> Alcotest.failf "blackbox read failed: %s" m
+  | Ok cp ->
+    check string "last checkpoint is the shutdown one" "shutdown"
+      cp.Blackbox.state.Blackbox.reason;
+    check int "boot 1" 1 cp.Blackbox.state.Blackbox.boot_count;
+    check bool "at least 64 events survived" true
+      (List.length cp.Blackbox.events >= 64);
+    check bool "no op in flight at clean shutdown" true
+      (cp.Blackbox.in_flight = []);
+    (* Events come back oldest first with increasing sequence numbers. *)
+    let seqs = List.map (fun e -> e.Trace.seq) cp.Blackbox.events in
+    check bool "events sorted oldest-first" true (List.sort compare seqs = seqs)
+
+(* A crash mid-workload: with a zero-length commit interval every
+   operation forces (and therefore checkpoints) while its own span is
+   still open, so the black box names the operation that was in flight
+   when the machine died. *)
+let test_crash_names_in_flight_op () =
+  let geom = Geometry.small_test in
+  let clock = Simclock.create () in
+  let device = Device.create ~clock geom in
+  let params = { (Params.for_geometry geom) with Params.commit_interval_us = 1 } in
+  Fsd.format device params;
+  Obs.Trace.enable (Device.trace device);
+  let fs = fst (Fsd.boot ~params device) in
+  let ops = Fsd.ops fs in
+  for i = 0 to 24 do
+    ignore
+      (ops.Fs_ops.create
+         ~name:(Printf.sprintf "bb/f%02d" i)
+         ~data:(Bytes.make 700 'x')
+        : Fs_ops.info)
+  done;
+  (* No shutdown: the device simply stops here, as in a crash. *)
+  match Blackbox.read device (Fsd.layout fs) with
+  | Error m -> Alcotest.failf "blackbox read failed: %s" m
+  | Ok cp ->
+    check string "died during a force" "force" cp.Blackbox.state.Blackbox.reason;
+    check bool "at least 64 events reconstructed" true
+      (List.length cp.Blackbox.events >= 64);
+    let names = List.map (fun (op, name, _) -> (op, name)) cp.Blackbox.in_flight in
+    check bool "the interrupted create is named" true
+      (List.mem ("create", "bb/f24") names)
+
+(* ------------------------------------------------------------------ *)
+(* Torn checkpoint                                                      *)
+
+let test_torn_checkpoint_falls_back () =
+  let device = fresh_volume () in
+  Obs.Trace.enable (Device.trace device);
+  let fs = fst (Fsd.boot device) in
+  let ops = Fsd.ops fs in
+  let layout = Fsd.layout fs in
+  let create i =
+    ignore
+      (ops.Fs_ops.create
+         ~name:(Printf.sprintf "torn/f%02d" i)
+         ~data:(Bytes.make 700 'x')
+        : Fs_ops.info)
+  in
+  (* Two full force cycles: gen 1 into slot 0, gen 2 into slot 1. *)
+  create 0;
+  ops.Fs_ops.force ();
+  create 1;
+  ops.Fs_ops.force ();
+  (* Arm a crash that tears the NEXT black-box slot write (gen 3 back
+     into slot 0): the observer fires before the sectors are stored, so
+     the write that touches the region crashes after 4 of its 16
+     sectors. The header (gen 3) lands; the payload is left as stale
+     gen-1 bytes — readable, but failing the header's payload CRC. *)
+  let in_blackbox sector =
+    sector >= layout.Layout.blackbox_start
+    && sector < layout.Layout.blackbox_start + layout.Layout.blackbox_sectors
+  in
+  Device.set_observer device
+    (Some
+       (fun ~rw ~sector ~count:_ ->
+         if rw = `W && in_blackbox sector then
+           Device.plan_write_crash device ~after_sectors:4 ~damage_tail:0));
+  create 2;
+  (match ops.Fs_ops.force () with
+  | () -> Alcotest.fail "expected the armed crash during the checkpoint"
+  | exception Device.Crash_during_write _ -> ());
+  Device.set_observer device None;
+  Device.cancel_write_crash device;
+  (* The torn gen-3 slot fails its payload CRC; read falls back to the
+     last complete checkpoint, generation 2. *)
+  (match Blackbox.read device layout with
+  | Error m -> Alcotest.failf "expected fallback checkpoint, got: %s" m
+  | Ok cp ->
+    check int "previous generation decoded" 2
+      (Int64.to_int cp.Blackbox.state.Blackbox.gen);
+    check int "from the untorn slot" 1 cp.Blackbox.slot);
+  (* The torn header still bumps the generation (never reuse gen 3), and
+     the next checkpoint overwrites the torn slot, not the good one. *)
+  let next_gen, next_slot = Blackbox.probe device layout in
+  check int "next generation skips the torn one" 4 (Int64.to_int next_gen);
+  check int "next slot is the torn slot" 0 next_slot
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                             *)
+
+(* The scripted workload is 10 creates, force, then 10 opens + 10 reads
+   + 1 list + 10 deletes, force: the two ops-per-force samples must be
+   exactly 10 and 31, and there is one force-to-force interval. *)
+let test_profile_hand_check () =
+  let device = fresh_volume () in
+  let fs = fst (Fsd.boot device) in
+  let ops = Fsd.ops fs in
+  Script.warmup ops;
+  let tr = Device.trace device in
+  Obs.Trace.enable tr;
+  Script.scripted ops;
+  Obs.Trace.disable tr;
+  let p = Obs.Profile.of_entries (Obs.Trace.to_list tr) in
+  check int "two forces" 2 p.Obs.Profile.forces;
+  check int "no empty forces" 0 p.Obs.Profile.empty_forces;
+  check int "one checkpoint per force" 2 p.Obs.Profile.blackbox_checkpoints;
+  let opf = p.Obs.Profile.ops_per_force in
+  check int "two ops-per-force samples" 2 (Stats.n opf);
+  check int "first burst: 10 creates" 10 (int_of_float (Stats.min opf));
+  check int "second burst: 31 ops" 31 (int_of_float (Stats.max opf));
+  check (Alcotest.float 0.001) "mean ops per force" 20.5 (Stats.mean opf);
+  check int "one force interval" 1 (Stats.n p.Obs.Profile.force_interval_us);
+  let latency op = List.assoc op p.Obs.Profile.op_latency in
+  check int "10 create latencies" 10 (Stats.n (latency "create"));
+  check int "10 open latencies" 10 (Stats.n (latency "open"));
+  check int "10 delete latencies" 10 (Stats.n (latency "delete"));
+  check int "1 list latency" 1 (Stats.n (latency "list"));
+  (* Force latency is profiled, but forces are not counted in the
+     ops-per-force samples (10 and 31 above already prove that). *)
+  check int "2 force latencies" 2 (Stats.n (latency "force"));
+  (* The log-third timeline has one point per traced append, all in the
+     same third with growing occupancy. *)
+  check int "two appends traced" 2 (List.length p.Obs.Profile.third_timeline);
+  match p.Obs.Profile.third_timeline with
+  | [ (_, t1, o1); (_, t2, o2) ] ->
+    check int "same third" t1 t2;
+    check bool "occupancy grows" true (o2 > o1)
+  | _ -> Alcotest.fail "unexpected timeline shape"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                        *)
+
+let test_chrome_export () =
+  let device = fresh_volume () in
+  Obs.Trace.enable (Device.trace device);
+  let fs = fst (Fsd.boot device) in
+  let ops = Fsd.ops fs in
+  Script.warmup ops;
+  Script.scripted ops;
+  let entries = Obs.Trace.to_list (Device.trace device) in
+  let json = Obs.Export.chrome entries in
+  let events =
+    match json with
+    | Obs.Jsonb.Obj fields -> (
+      match List.assoc "traceEvents" fields with
+      | Obs.Jsonb.Arr evs -> evs
+      | _ -> Alcotest.fail "traceEvents is not an array")
+    | _ -> Alcotest.fail "chrome export is not an object"
+  in
+  check bool "trace has events" true (events <> []);
+  let completes = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obs.Jsonb.Obj fields -> (
+        match List.assoc "ph" fields with
+        | Obs.Jsonb.Str "X" ->
+          incr completes;
+          (* Complete events carry both a timestamp and a duration, so
+             begins and ends are balanced by construction. *)
+          let num k =
+            match List.assoc k fields with
+            | Obs.Jsonb.Int n -> n
+            | Obs.Jsonb.Float f -> int_of_float f
+            | _ -> Alcotest.failf "%s is not numeric" k
+          in
+          check bool "ts >= 0" true (num "ts" >= 0);
+          check bool "dur >= 0" true (num "dur" >= 0)
+        | Obs.Jsonb.Str "i" | Obs.Jsonb.Str "M" -> ()
+        | Obs.Jsonb.Str ph -> Alcotest.failf "unbalanced phase %S emitted" ph
+        | _ -> Alcotest.fail "ph is not a string")
+      | _ -> Alcotest.fail "trace event is not an object")
+    events;
+  (* Every closed span becomes exactly one complete slice on the op
+     track; device transfers are complete slices too. *)
+  let ends =
+    List.length
+      (List.filter
+         (fun e ->
+           match e.Trace.event with Trace.Op_end _ -> true | _ -> false)
+         entries)
+  in
+  check bool "at least one X slice per closed span" true (!completes >= ends);
+  (* The serialized form is non-trivial valid JSON as far as the builder
+     is concerned: it renders and starts an object. *)
+  let s = Obs.Jsonb.to_string json in
+  check bool "serialises to an object" true (String.length s > 2 && s.[0] = '{')
+
+(* ------------------------------------------------------------------ *)
+(* Metrics percentiles                                                  *)
+
+let test_metrics_percentiles () =
+  let m = Obs.Metrics.create () in
+  let d = Obs.Metrics.dist m "t.latency" in
+  for v = 1 to 100 do
+    Stats.add d (float_of_int v)
+  done;
+  match List.assoc "t.latency" (Obs.Metrics.snapshot m) with
+  | Obs.Metrics.Dist { n; p50; p90; p99; _ } ->
+    check (Alcotest.float 0.001) "p50" 50.0 p50;
+    check (Alcotest.float 0.001) "p90" 90.0 p90;
+    check (Alcotest.float 0.001) "p99" 99.0 p99;
+    check int "n" 100 n
+  | Obs.Metrics.Int _ -> Alcotest.fail "expected a distribution"
+
+let suite =
+  [
+    Alcotest.test_case "event codec roundtrips" `Quick test_codec_roundtrip;
+    Alcotest.test_case "shutdown checkpoint decodes" `Quick
+      test_shutdown_checkpoint;
+    Alcotest.test_case "crash names the in-flight op" `Quick
+      test_crash_names_in_flight_op;
+    Alcotest.test_case "torn checkpoint falls back a generation" `Quick
+      test_torn_checkpoint_falls_back;
+    Alcotest.test_case "profiler matches hand-computed workload" `Quick
+      test_profile_hand_check;
+    Alcotest.test_case "chrome export is balanced" `Quick test_chrome_export;
+    Alcotest.test_case "metrics expose p90/p99" `Quick test_metrics_percentiles;
+  ]

@@ -157,6 +157,7 @@ let kinds entries =
       | Trace.Log_force _ -> Some "log-force"
       | Trace.Fnt_write_twice _ -> Some "fnt-write-twice"
       | Trace.Leader_piggyback _ -> Some "leader-piggyback"
+      | Trace.Blackbox_checkpoint _ -> Some "blackbox-checkpoint"
       | Trace.Op_begin { op; _ } -> Some ("begin:" ^ op)
       | Trace.Op_end { op; _ } -> Some ("end:" ^ op)
       | _ -> None)
@@ -182,9 +183,24 @@ let test_op_event_sequences () =
     [ "begin:create"; "dev-write"; "end:create" ]
     (traced_kinds device (fun () ->
          ignore (Fsd.create fs ~name:"s/f1" (content 900 1))));
-  (* force: the pending FNT update goes out as one log record *)
-  check seq "force = append + force (§5.4)"
-    [ "begin:force"; "dev-write"; "log-append"; "log-force"; "end:force" ]
+  (* force: the pending FNT update goes out as one log record, then the
+     black box checkpoints the trace tail in its own span. This first
+     checkpoint of the boot also probes both slots (two reads) to pick
+     the next generation. *)
+  check seq "force = append + force + black-box checkpoint (§5.4)"
+    [
+      "begin:force";
+      "dev-write";
+      "log-append";
+      "log-force";
+      "begin:blackbox";
+      "dev-read";
+      "dev-read";
+      "dev-write";
+      "blackbox-checkpoint";
+      "end:blackbox";
+      "end:force";
+    ]
     (traced_kinds device (fun () -> Fsd.force fs));
   (* a second force with nothing dirty writes nothing *)
   check seq "empty force costs no I/O"
@@ -246,7 +262,20 @@ let test_per_op_hand_counts () =
   let f = row "force" in
   check int "force calls" 2 f.Tables.calls;
   check int "force reads" 0 f.Tables.reads;
-  check int "force writes: one log record each" 2 f.Tables.writes
+  check int "force writes: one log record each" 2 f.Tables.writes;
+  (* The black-box checkpoint I/O is its own column — one slot write per
+     (non-empty) force plus the one-time two-slot probe — so the force
+     row above stays an honest Tables 3/4 analogue. *)
+  let bb = row "blackbox" in
+  check int "blackbox calls" 2 bb.Tables.calls;
+  check int "blackbox probe reads both slots once" 2 bb.Tables.reads;
+  check int "blackbox probe sectors"
+    (2 * Params.blackbox_slot_sectors)
+    bb.Tables.sectors_read;
+  check int "blackbox writes one slot per force" 2 bb.Tables.writes;
+  check int "blackbox sectors written"
+    (2 * Params.blackbox_slot_sectors)
+    bb.Tables.sectors_written
 
 let test_log_activity () =
   let entries = scripted_entries () in
