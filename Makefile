@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench fmt fmt-check ci clean
+.PHONY: all check build test bench serve-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -13,11 +13,26 @@ test:
 
 check: build test
 
-# Reproduce every paper table and regenerate the committed trace-driven
-# snapshot (BENCH_OBS.json) so reviewers can diff observability output.
+# Reproduce every paper table and regenerate the committed snapshots
+# (BENCH_OBS.json, BENCH_GROUPCOMMIT.json) so reviewers can diff
+# observability and group-commit-scaling output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
+	dune exec bench/main.exe -- clients --out BENCH_GROUPCOMMIT.json
+
+# Determinism smoke: two same-seed 2-client server runs must produce
+# byte-identical JSON reports (the server's core contract).
+serve-smoke:
+	dune build bin/cedar.exe
+	rm -rf _build/serve-smoke && mkdir -p _build/serve-smoke
+	./_build/default/bin/cedar.exe mkfs _build/serve-smoke/vol.img > /dev/null
+	./_build/default/bin/cedar.exe serve _build/serve-smoke/vol.img \
+		--clients 2 --json > _build/serve-smoke/run1.json
+	./_build/default/bin/cedar.exe serve _build/serve-smoke/vol.img \
+		--clients 2 --json > _build/serve-smoke/run2.json
+	cmp _build/serve-smoke/run1.json _build/serve-smoke/run2.json
+	@echo "serve-smoke: deterministic"
 
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
@@ -30,7 +45,7 @@ fmt-check:
 		echo "fmt-check: ocamlformat not installed, skipping"; \
 	fi
 
-ci: fmt-check check
+ci: fmt-check check serve-smoke
 
 clean:
 	dune clean

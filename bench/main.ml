@@ -8,7 +8,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|all] [--micro] [--out PATH]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|all] [--micro] [--out PATH]";
   exit 2
 
 let () =
@@ -44,6 +44,7 @@ let () =
     | "log-size" -> Bench_tables.log_size ()
     | "fragmentation" -> Bench_tables.fragmentation ()
     | "obs-json" -> Obs_json.run ?out ()
+    | "clients" -> Bench_clients.run ?out ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()
   in

@@ -15,6 +15,7 @@
      cedar trace vol.img [--limit N]     dump the event trace of a scripted run
      cedar trace vol.img --chrome out.json   export the span tree for Perfetto
      cedar profile vol.img [--json]      latency + group-commit profiles
+     cedar serve vol.img --clients N     concurrent sessions over group commit
      cedar blackbox vol.img [--json]     decode the on-disk flight recorder
 
    Mutating commands shut the file system down cleanly before saving the
@@ -398,6 +399,62 @@ let cmd_profile path json =
         Format.printf "%a@." Obs.Profile.pp prof
       end)
 
+(* Multi-client server run: N sessions replay closed-loop scripts under
+   the cooperative scheduler, sharing group-commit forces (§5.4). The
+   image is not saved — serve is a measurement harness like [stats], and
+   keeping the image untouched makes same-seed runs byte-comparable. *)
+let cmd_serve path clients script_file seed think_us rounds json =
+  if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
+  if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
+  let module C = Cedar_workload.Concurrent in
+  let scripts =
+    match script_file with
+    | Some file ->
+      if not (Sys.file_exists file) then fail "no such script file: %s" file;
+      let ic = open_in_bin file in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match C.parse_script text with
+      | Error m -> fail "%s: %s" file m
+      | Ok s -> Array.init clients (fun client -> C.instantiate s ~client))
+    | None ->
+      C.makedo_scripts { C.default_spec with C.seed; think_us; rounds } ~clients
+  in
+  with_volume ~save:false path (fun vol ->
+      match vol with
+      | Cfs_vol _ -> fail "serve requires an FSD volume (group commit is FSD-only)"
+      | Fsd_vol fs ->
+        let r = Cedar_server.Server.serve fs scripts in
+        let module S = Cedar_server.Server in
+        if json then
+          print_endline (Obs.Jsonb.to_string_pretty (S.report_json r))
+        else begin
+          Printf.printf
+            "%d clients, %.2f s simulated: %d ops (%d mutating acked, %d \
+             rejected, %d errors)\n"
+            r.S.clients
+            (Simclock.s_of_us r.S.duration_us)
+            r.S.total_ops r.S.mutations_acked r.S.total_rejected r.S.total_errors;
+          Printf.printf
+            "group commit: %d log forces (%d server-initiated), %.1f acked \
+             mutations/force\n"
+            r.S.log_forces r.S.server_forces r.S.ops_per_force;
+          Printf.printf "commit wait: mean %.1f ms, p50 %.1f, p99 %.1f, max %.1f (%d waits)\n"
+            (r.S.wait_mean_us /. 1000.) (r.S.wait_p50_us /. 1000.)
+            (r.S.wait_p99_us /. 1000.) (r.S.wait_max_us /. 1000.) r.S.wait_n;
+          Printf.printf "batches: %d, mean %.1f sessions woken, max %.0f\n"
+            r.S.batch_n r.S.batch_mean r.S.batch_max;
+          List.iter
+            (fun s ->
+              Printf.printf
+                "  session %02d: %d ops, %d acked, %d rejected, %d errors, \
+                 wait max %.1f ms\n"
+                s.S.r_client s.S.r_ops s.S.r_mutations s.S.r_rejected
+                s.S.r_errors
+                (float_of_int s.S.r_wait_max_us /. 1000.))
+            r.S.per_session
+        end)
+
 (* Decode the on-disk flight recorder WITHOUT booting: no recovery runs,
    so this is the pre-crash view — what the system believed at its last
    group-commit force. Only the boot page is trusted (for the layout
@@ -541,6 +598,49 @@ let profile_cmd =
           log-third occupancy timeline (the image is not modified)")
     Term.(const cmd_profile $ img $ json)
 
+let serve_cmd =
+  let clients =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"number of concurrent client sessions")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "replay $(docv) in every session (one step per line: think US, \
+             create NAME BYTES, open NAME, read NAME, read-page NAME PAGE, \
+             delete NAME, list PREFIX, force; {c} in names becomes the \
+             session's directory). Default: the per-client make/do workload")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"workload seed")
+  in
+  let think =
+    Arg.(
+      value & opt int 50_000
+      & info [ "think" ] ~docv:"US"
+          ~doc:"mean per-step client think time in simulated microseconds")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"R" ~doc:"make/do build passes per client")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the deterministic JSON report")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run N concurrent client sessions against the volume under the \
+          deterministic cooperative scheduler, batching their transactions \
+          into shared group-commit forces (the image is not modified; \
+          same-seed runs produce byte-identical reports)")
+    Term.(const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json)
+
 let blackbox_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit one JSON object")
@@ -578,5 +678,6 @@ let () =
             stats_cmd;
             trace_cmd;
             profile_cmd;
+            serve_cmd;
             blackbox_cmd;
           ]))

@@ -1,0 +1,7 @@
+(* Demon dispatch, split out of [Fsd.tick] so a scheduler that owns the
+   virtual clock (lib/server) can fire the demons at points of its own
+   choosing. [Fsd.tick] advances time and then calls the same dispatch,
+   so single-threaded callers and the server see identical demon
+   behavior. *)
+
+let run_due = Fsd.run_due_demons

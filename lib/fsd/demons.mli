@@ -1,0 +1,12 @@
+(** Demon dispatch, separated from time-advance.
+
+    [Fsd.tick] conflated advancing the clock with firing the demons; a
+    cooperative scheduler advances the clock itself (operations and idle
+    jumps) and calls {!run_due} at scheduling points, so the commit and
+    scrub demons fire identically under the server and under the
+    historical single-threaded [tick] loop. *)
+
+val run_due : Fsd.t -> unit
+(** Fire the commit demon (group-commit force) and the scrub demon if
+    their intervals have elapsed at the current virtual time; a no-op
+    otherwise. Exactly the demon-dispatch half of [Fsd.tick]. *)

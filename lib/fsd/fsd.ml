@@ -67,6 +67,14 @@ type t = {
   mutable last_force : int;
   mutable live : bool;
   mutable vam_saved_clean : bool;
+  mutable mutation_seq : int;
+      (* bumped whenever an operation leaves log-pending metadata *)
+  mutable durable_seq : int;
+      (* mutation_seq value covered by the last completed force *)
+  mutable autocommit : bool;
+      (* time-based commit fires inside op_done; a server scheduler
+         suppresses it during [submit] and drives commits itself *)
+  mutable forces_since_bb : int; (* black-box checkpoint cadence counter *)
   mutable last_scrub : int;
   mutable scrub_page_cursor : int; (* next FNT page pair to verify *)
   mutable scrub_key_cursor : string; (* next name-table key whose leader to verify *)
@@ -92,6 +100,7 @@ let mk_meters reg =
   }
 
 let layout t = t.layout
+let params t = t.params
 let device t = t.device
 let trace t = Device.trace t.device
 let metrics t = Device.metrics t.device
@@ -267,6 +276,11 @@ let checkpoint_blackbox t ~reason =
 
 let do_force t =
   require_live t;
+  (* Everything mutated so far is in the dirty pages and pending leaders
+     this force is about to log; once the record is durable, every token
+     at or below this sequence is covered. Captured before the append so
+     a crash mid-record leaves [durable_seq] untouched. *)
+  let covered_seq = t.mutation_seq in
   let pages = Fnt_store.pages_to_log t.store in
   let leaders =
     Hashtbl.fold
@@ -277,6 +291,7 @@ let do_force t =
     assert (Vam.shadow_count (Alloc.vam t.alloc) = 0);
     Metrics.inc t.meters.m_empty_forces;
     emit t (Trace.Log_force { units = 0; empty = true });
+    t.durable_seq <- covered_seq;
     t.last_force <- now t
   end
   else begin
@@ -338,11 +353,18 @@ let do_force t =
       in
       pack [] 0 units
     end;
+    t.durable_seq <- covered_seq;
     Metrics.inc t.meters.m_forces;
     emit t (Trace.Log_force { units = List.length units; empty = false });
     (* An empty force changes no durable state, so only real commits are
-       checkpointed; the recorder's cost scales with commit activity. *)
-    checkpoint_blackbox t ~reason:"force";
+       checkpointed; the recorder's cost scales with commit activity.
+       [blackbox_every_n_forces] further thins the cadence so runs with
+       many clients (frequent forces) don't pay a checkpoint per force. *)
+    t.forces_since_bb <- t.forces_since_bb + 1;
+    if t.forces_since_bb >= t.params.Params.blackbox_every_n_forces then begin
+      checkpoint_blackbox t ~reason:"force";
+      t.forces_since_bb <- 0
+    end;
     t.last_force <- now t
   end
 
@@ -355,7 +377,12 @@ let force_threshold t =
   max 2 ((max_data_sectors t / t.params.Params.fnt_page_sectors) - 4)
 
 let maybe_commit t =
-  let due_time = now t - t.last_force >= t.params.Params.commit_interval_us in
+  (* Under a server scheduler ([autocommit] off, see {!submit}) the
+     interval-driven force belongs to the batcher; the bulk trigger stays
+     on unconditionally so one force remains one atomic record. *)
+  let due_time =
+    t.autocommit && now t - t.last_force >= t.params.Params.commit_interval_us
+  in
   let due_bulk =
     List.length (Fnt_store.pages_to_log t.store) >= force_threshold t
   in
@@ -403,6 +430,7 @@ let info_of name version (e : Entry.t) =
   { Fs_ops.name; version; byte_size = e.Entry.byte_size; uid = e.Entry.uid }
 
 let insert_entry t ~key (e : Entry.t) =
+  t.mutation_seq <- t.mutation_seq + 1;
   match B.insert t.tree ~key ~value:(Entry.encode e) with
   | () -> ()
   | exception Invalid_argument _ ->
@@ -532,6 +560,7 @@ let delete_version_unchecked t name version =
   | None -> Fs_error.raise_ (Fs_error.No_such_file (Printf.sprintf "%s!%d" name version))
   | Some v ->
     let e = decode_entry name v in
+    t.mutation_seq <- t.mutation_seq + 1;
     ignore (B.delete t.tree key : bool);
     spoil_saved_vam t;
     if e.Entry.anchor >= 0 then begin
@@ -966,11 +995,62 @@ let maybe_scrub t =
     scrub_leaders t
   end
 
+(* Demon dispatch, separated from time-advance so that an external
+   scheduler (lib/server) can fire the commit and scrub demons at its own
+   pace; re-exported as [Demons.run_due]. [tick] = advance + this, so
+   single-threaded callers see identical behavior. *)
+let run_due_demons t =
+  require_live t;
+  maybe_commit t;
+  maybe_scrub t
+
 let tick t ~us =
   require_live t;
   Simclock.advance t.clock us;
-  maybe_commit t;
-  maybe_scrub t
+  run_due_demons t
+
+(* ------------------------------------------------------------------ *)
+(* Submission API: execute now, wait for the covering force later.
+
+   A server scheduler runs each client operation to completion through
+   [submit], which suppresses the interval-driven force for the duration
+   (the batcher owns commit timing) and returns a completion token. The
+   token is durable once a force covering every mutation the operation
+   made has completed — the moment the paper's client, "the process doing
+   the commit", may be unparked (§5.4). *)
+
+type token = int
+
+let always_durable : token = 0
+
+let submit t f =
+  require_live t;
+  let was = t.autocommit in
+  t.autocommit <- false;
+  let before = t.mutation_seq in
+  match f () with
+  | v ->
+    t.autocommit <- was;
+    let tok = if t.mutation_seq > before then t.mutation_seq else always_durable in
+    (v, tok)
+  | exception e ->
+    t.autocommit <- was;
+    raise e
+
+let token_durable t (tok : token) = t.durable_seq >= tok
+let mutation_seq t = t.mutation_seq
+let durable_seq t = t.durable_seq
+
+(* How full the third the log is currently appending into is — the
+   batcher's backpressure signal: close to 1.0 means the next forces will
+   enter a fresh third and overwrite the oldest records, forcing early
+   page flushes ([handle_enter_third]). *)
+let log_third_fill t =
+  let third = (t.layout.Layout.log_sectors - 3) / 3 in
+  let off = Log.write_off t.log mod third in
+  float_of_int off /. float_of_int third
+
+let commit_due_at t = t.last_force + t.params.Params.commit_interval_us
 
 let save_vam t =
   require_live t;
@@ -1183,6 +1263,10 @@ let boot ?params device =
       last_force = Simclock.now clock;
       live = true;
       vam_saved_clean = false;
+      mutation_seq = 0;
+      durable_seq = 0;
+      autocommit = true;
+      forces_since_bb = 0;
       last_scrub = Simclock.now clock;
       scrub_page_cursor = 0;
       scrub_key_cursor = "";

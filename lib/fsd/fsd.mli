@@ -125,11 +125,56 @@ val force : t -> unit
 (** Client-requested log force (§5.4: "clients may force the log"). *)
 
 val tick : t -> us:int -> unit
-(** Advance virtual time (idle workstation); fires the commit demon when
-    the commit interval has elapsed, and the scrub demon when the scrub
-    interval has — each scrub pass verifies a few FNT page pairs (both
-    copies, by checksum) and a few leaders, repairing lone bad copies in
-    place (counted in {!counters}). *)
+(** Advance virtual time (idle workstation), then {!run_due_demons}. *)
+
+val run_due_demons : t -> unit
+(** Fire every demon whose interval has elapsed at the current virtual
+    time: the commit demon (group-commit force) and the scrub demon —
+    each scrub pass verifies a few FNT page pairs (both copies, by
+    checksum) and a few leaders, repairing lone bad copies in place
+    (counted in {!counters}). [tick us] is [advance us] plus this;
+    external schedulers call it through {!Demons.run_due} so demons fire
+    identically whether or not a server owns the clock. *)
+
+(** {1 Submission (server scheduler interface)}
+
+    A concurrent server executes each client operation through {!submit}
+    and parks the client until the returned token is durable — the
+    paper's "process doing the commit waits" (§5.4), extended to every
+    transactional operation. While the closure runs, the interval-driven
+    commit demon is suppressed (the server's batcher owns commit timing);
+    the bulk trigger that keeps one force equal to one atomic log record
+    stays armed. *)
+
+type token
+(** Completion token: durable once a force covering every mutation the
+    submitted operation made has completed. *)
+
+val always_durable : token
+(** The token of an operation that mutated nothing (reads, stats). *)
+
+val submit : t -> (unit -> 'a) -> 'a * token
+(** Run one operation with interval-commit suppressed; returns its result
+    and completion token. Exceptions propagate (with the commit mode
+    restored). *)
+
+val token_durable : t -> token -> bool
+val mutation_seq : t -> int
+(** Sequence number of the newest metadata mutation. *)
+
+val durable_seq : t -> int
+(** Mutation sequence covered by the last completed force;
+    [token_durable] is [durable_seq >= token]. *)
+
+val log_third_fill : t -> float
+(** Fraction of the current log third already consumed, in [0,1) — the
+    batcher's backpressure signal: near 1.0 the next force enters a fresh
+    third, evicting that third's logged pages. *)
+
+val commit_due_at : t -> int
+(** Virtual time at which the half-second commit demon next fires
+    (last force time + [commit_interval_us]) — what a scheduler that
+    owns the clock sleeps toward when every session is parked. *)
 
 val save_vam : t -> unit
 (** Idle-period VAM save (valid until the next metadata mutation). *)
@@ -138,6 +183,9 @@ val save_vam : t -> unit
 
 val ops : t -> Cedar_fsbase.Fs_ops.t
 val layout : t -> Layout.t
+val params : t -> Params.t
+(** The runtime parameters the volume booted with. *)
+
 val device : t -> Cedar_disk.Device.t
 val free_sectors : t -> int
 

@@ -17,6 +17,7 @@ type t = {
   scrub_interval_us : int;
   scrub_pages_per_pass : int;
   scrub_leaders_per_pass : int;
+  blackbox_every_n_forces : int;
 }
 
 (* Black-box flight-recorder region: two generation slots right after the
@@ -45,6 +46,7 @@ let default =
     scrub_interval_us = 2_000_000;
     scrub_pages_per_pass = 4;
     scrub_leaders_per_pass = 8;
+    blackbox_every_n_forces = 1;
   }
 
 let for_geometry g =
@@ -86,6 +88,8 @@ let validate g t =
   else if t.scrub_interval_us < 0 then Error "negative scrub interval"
   else if t.scrub_pages_per_pass < 0 || t.scrub_leaders_per_pass < 0 then
     Error "negative scrub batch size"
+  else if t.blackbox_every_n_forces < 1 then
+    Error "blackbox_every_n_forces must be at least 1"
   else if t.fnt_page_sectors < 1 || t.fnt_page_sectors > 16 then
     Error "fnt_page_sectors out of range"
   else if t.log_sectors < 3 + (3 * max_record) then

@@ -35,6 +35,12 @@ type t = {
           verifies a few FNT page pairs and leaders. 0 disables. *)
   scrub_pages_per_pass : int;  (** FNT page pairs verified per pass *)
   scrub_leaders_per_pass : int;  (** leaders verified per pass *)
+  blackbox_every_n_forces : int;
+      (** checkpoint the black-box flight recorder every this many
+          non-empty forces (1 = every force, the historical behavior).
+          High-client-count runs force often; a larger cadence keeps the
+          recorder's I/O out of the commit path most of the time. Clean
+          shutdown always checkpoints regardless. *)
 }
 
 val blackbox_slot_sectors : int

@@ -12,6 +12,20 @@ let tid_device = 2
 let tid_log = 3
 let tid_meta = 4
 
+(* Server sessions each get their own track so the viewer shows the
+   interleaving: spans opened with op "sessionNN" land on track
+   [tid_session_base + NN], as do that session's commit waits. *)
+let tid_session_base = 16
+
+let session_tid op =
+  let prefix = "session" in
+  let pl = String.length prefix in
+  if String.length op > pl && String.sub op 0 pl = prefix then
+    match int_of_string_opt (String.sub op pl (String.length op - pl)) with
+    | Some n when n >= 0 -> Some (tid_session_base + n)
+    | Some _ | None -> None
+  else None
+
 let base ~name ~cat ~ph ~ts ~tid rest =
   ( ts,
     Jsonb.Obj
@@ -43,6 +57,10 @@ let chrome entries =
     entries;
   let events = ref [] in
   let push ev = events := ev :: !events in
+  let session_tids = ref [] in
+  let note_session tid =
+    if not (List.mem tid !session_tids) then session_tids := tid :: !session_tids
+  in
   List.iter
     (fun (e : Trace.entry) ->
       let ts = e.Trace.at_us in
@@ -55,8 +73,15 @@ let chrome entries =
           let name =
             match b.Trace.event with Trace.Op_begin { name; _ } -> name | _ -> ""
           in
+          let tid, cat =
+            match session_tid op with
+            | Some tid ->
+              note_session tid;
+              (tid, "session")
+            | None -> (tid_ops, "op")
+          in
           push
-            (complete ~name:op ~cat:"op" ~ts:b.Trace.at_us ~dur:us ~tid:tid_ops
+            (complete ~name:op ~cat ~ts:b.Trace.at_us ~dur:us ~tid
                [ ("name", Jsonb.Str name); ("span", Jsonb.Int e.Trace.span) ])
         | None ->
           (* The begin fell off the ring; an instant marks the orphan end. *)
@@ -119,7 +144,14 @@ let chrome entries =
       | Trace.Recovery_phase { phase; us } ->
         push
           (complete ~name:("recovery-" ^ phase) ~cat:"recovery" ~ts ~dur:us
-             ~tid:tid_meta []))
+             ~tid:tid_meta [])
+      | Trace.Session_wait { client; us } ->
+        (* Emitted at the wake time: the wait occupied [ts - us, ts]. *)
+        let tid = tid_session_base + client in
+        note_session tid;
+        push
+          (complete ~name:"commit-wait" ~cat:"session" ~ts:(ts - us) ~dur:us ~tid
+             [ ("client", Jsonb.Int client) ]))
     entries;
   (* Spans still open when the capture ended (in-flight at a crash). *)
   Hashtbl.iter
@@ -156,5 +188,10 @@ let chrome entries =
              thread_name tid_log "log";
              thread_name tid_meta "metadata";
            ]
+          @ List.map
+              (fun tid ->
+                thread_name tid
+                  (Printf.sprintf "session %d" (tid - tid_session_base)))
+              (List.sort compare !session_tids)
           @ List.map snd sorted) );
     ]

@@ -19,6 +19,7 @@ type event =
   | Op_begin of { op : string; name : string }
   | Op_end of { op : string; us : int }
   | Blackbox_checkpoint of { gen : int64; events : int; sectors : int }
+  | Session_wait of { client : int; us : int }
 
 type entry = { seq : int; span : int; at_us : int; event : event }
 
@@ -191,6 +192,10 @@ let encode_event w = function
     W.u64 w gen;
     W.u16 w events;
     W.u16 w sectors
+  | Session_wait { client; us } ->
+    W.u8 w 14;
+    W.u16 w client;
+    W.i64 w us
 
 let decode_event r =
   match R.u8 r with
@@ -250,6 +255,10 @@ let decode_event r =
     let events = R.u16 r in
     let sectors = R.u16 r in
     Blackbox_checkpoint { gen; events; sectors }
+  | 14 ->
+    let client = R.u16 r in
+    let us = R.i64 r in
+    Session_wait { client; us }
   | n ->
     raise (Cedar_util.Bytebuf.Decode_error (Printf.sprintf "trace event tag %d" n))
 
@@ -294,6 +303,8 @@ let pp_event ppf = function
   | Blackbox_checkpoint { gen; events; sectors } ->
     Format.fprintf ppf "blackbox-checkpoint gen=%Ld events=%d sectors=%d" gen
       events sectors
+  | Session_wait { client; us } ->
+    Format.fprintf ppf "session-wait client=%d us=%d" client us
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%d span=%d t=%.3fms %a" e.seq e.span

@@ -46,6 +46,12 @@ type event =
           black-box region: generation written, events that fit, sectors
           transferred. Emitted inside its own ["blackbox"] span so the
           checkpoint's device I/O is attributed separately. *)
+  | Session_wait of { client : int; us : int }
+      (** A server session was unparked after waiting [us] for the force
+          covering its transaction (§5.4 "the process doing the commit
+          waits"); emitted at the wake time, so the wait spans
+          [at_us - us, at_us]. The Chrome exporter turns it into a
+          complete event on the session's own track. *)
 
 type entry = {
   seq : int;  (** monotonically increasing; also the span id of [Op_begin] *)

@@ -1,0 +1,436 @@
+(* Concurrent multi-client FSD server: a deterministic cooperative
+   scheduler over the virtual clock, with a real group-commit batcher.
+
+   Each client session replays a [Concurrent.script]. Operations run to
+   completion (cooperative, never preempted mid-op); a session that
+   performed a metadata mutation then *parks* on the batcher and is only
+   acknowledged once a log force covers its transaction — §5.4's "the
+   process doing the commit waits", generalised to N clients. The batcher
+   forces on three triggers:
+
+   - time: the half-second commit demon ([Params.commit_interval_us]);
+   - size: [max_batch] sessions parked;
+   - explicit: a client [Force] step.
+
+   Backpressure: when the current log third is nearly consumed
+   ([backpressure_fill]) the admission queue applies its depth cap —
+   a mutating op arriving while [queue_cap] sessions are already parked
+   is rejected with a typed error, never blocked.
+
+   Determinism: sessions are stepped round-robin by index, the only
+   clock is [Simclock], and the only randomness is the script
+   generator's seeded [Rng] — two runs from the same seed produce
+   byte-identical reports. *)
+
+open Cedar_util
+open Cedar_obs
+open Cedar_fsd
+open Cedar_workload
+
+type error = Queue_full of { depth : int; cap : int }
+
+let pp_error ppf (Queue_full { depth; cap }) =
+  Format.fprintf ppf "queue-full depth=%d cap=%d" depth cap
+
+type config = {
+  max_batch : int;
+  queue_cap : int;
+  backpressure_fill : float;
+  on_force : (int -> unit) option;
+  on_ack : (client:int -> op:Concurrent.op -> unit) option;
+  on_reject : (client:int -> error -> unit) option;
+}
+
+let default_config =
+  {
+    max_batch = 64;
+    queue_cap = 256;
+    backpressure_fill = 0.75;
+    on_force = None;
+    on_ack = None;
+    on_reject = None;
+  }
+
+type state =
+  | Ready
+  | Thinking of { until : int }
+  | Parked of { token : Fsd.token; since : int; op : Concurrent.op }
+  | Done
+
+type session = {
+  client : int;
+  mutable steps : Concurrent.step list;
+  mutable state : state;
+  mutable ops : int;
+  mutable mutations : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable wait_total_us : int;
+  mutable wait_max_us : int;
+}
+
+type t = {
+  fsd : Fsd.t;
+  clock : Simclock.t;
+  cfg : config;
+  sessions : session array;
+  mutable cursor : int;  (* round-robin scan start *)
+  mutable last_durable : int;
+  mutable forces : int;  (* server-initiated (time/size/explicit) *)
+  commit_wait_us : Stats.t;
+  batch_size : Stats.t;
+}
+
+type session_report = {
+  r_client : int;
+  r_ops : int;
+  r_mutations : int;
+  r_rejected : int;
+  r_errors : int;
+  r_wait_total_us : int;
+  r_wait_max_us : int;
+}
+
+type report = {
+  clients : int;
+  duration_us : int;
+  total_ops : int;
+  mutations_acked : int;
+  server_forces : int;
+  log_forces : int;
+  ops_per_force : float;
+  total_rejected : int;
+  total_errors : int;
+  wait_n : int;
+  wait_mean_us : float;
+  wait_p50_us : float;
+  wait_p99_us : float;
+  wait_max_us : float;
+  batch_n : int;
+  batch_mean : float;
+  batch_max : float;
+  per_session : session_report list;
+}
+
+let now t = Simclock.now t.clock
+
+let parked_count t =
+  Array.fold_left
+    (fun n s -> match s.state with Parked _ -> n + 1 | _ -> n)
+    0 t.sessions
+
+(* ------------------------------------------------------------------ *)
+(* The batcher. *)
+
+let force_now t =
+  t.forces <- t.forces + 1;
+  (match t.cfg.on_force with Some f -> f t.forces | None -> ());
+  Fsd.force t.fsd
+
+(* Wake every parked session the last force covered. One durable
+   advance = one batch; its size is the number of sessions released
+   together, the quantity Hagmann's group commit amortises the force
+   over. *)
+let poll_wakes t =
+  let d = Fsd.durable_seq t.fsd in
+  if d > t.last_durable then begin
+    t.last_durable <- d;
+    let woken = ref 0 in
+    Array.iter
+      (fun s ->
+        match s.state with
+        | Parked { token; since; op } when Fsd.token_durable t.fsd token ->
+          let at = now t in
+          let wait = at - since in
+          incr woken;
+          Stats.add t.commit_wait_us (float_of_int wait);
+          s.wait_total_us <- s.wait_total_us + wait;
+          if wait > s.wait_max_us then s.wait_max_us <- wait;
+          s.mutations <- s.mutations + 1;
+          Trace.emit (Fsd.trace t.fsd) ~at
+            (Trace.Session_wait { client = s.client; us = wait });
+          (match t.cfg.on_ack with
+          | Some f -> f ~client:s.client ~op
+          | None -> ());
+          s.state <- Ready
+        | _ -> ())
+      t.sessions;
+    if !woken > 0 then Stats.add t.batch_size (float_of_int !woken)
+  end
+
+(* Run at every point where the scheduler regains control: fire the
+   commit demon if its interval elapsed inside the last op, let the
+   other demons (scrub) run, then release whoever the force covered. *)
+let schedule_point t =
+  if now t >= Fsd.commit_due_at t.fsd then force_now t;
+  Demons.run_due t.fsd;
+  poll_wakes t;
+  if parked_count t >= t.cfg.max_batch then begin
+    force_now t;
+    poll_wakes t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Session stepping. *)
+
+let session_op_label s = Printf.sprintf "session%02d" s.client
+
+let exec_op t (op : Concurrent.op) =
+  match op with
+  | Create { name; bytes; fill } ->
+    ignore
+      (Fsd.create t.fsd ~name (Concurrent.content ~fill bytes)
+        : Cedar_fsbase.Fs_ops.info)
+  | Open name -> ignore (Fsd.open_stat t.fsd ~name : Cedar_fsbase.Fs_ops.info)
+  | Read name -> ignore (Fsd.read_all t.fsd ~name : bytes)
+  | Read_page { name; page } -> ignore (Fsd.read_page t.fsd ~name ~page : bytes)
+  | Delete name -> Fsd.delete t.fsd ~name
+  | List prefix -> ignore (Fsd.list t.fsd ~prefix : Cedar_fsbase.Fs_ops.info list)
+  | Force -> force_now t
+
+let admission_reject t (s : session) (op : Concurrent.op) =
+  if not (Concurrent.mutates op) then None
+  else begin
+    let depth = parked_count t in
+    if depth >= t.cfg.queue_cap && Fsd.log_third_fill t.fsd >= t.cfg.backpressure_fill
+    then begin
+      let e = Queue_full { depth; cap = t.cfg.queue_cap } in
+      s.rejected <- s.rejected + 1;
+      (match t.cfg.on_reject with Some f -> f ~client:s.client e | None -> ());
+      Some e
+    end
+    else None
+  end
+
+let run_op t s op =
+  match admission_reject t s op with
+  | Some _ -> () (* typed reject delivered through [on_reject]; never blocks *)
+  | None ->
+    s.ops <- s.ops + 1;
+    let tr = Fsd.trace t.fsd in
+    let span =
+      Trace.begin_span tr ~at:(now t) ~op:(session_op_label s)
+        ~name:(Concurrent.op_name op)
+    in
+    let token =
+      Fun.protect
+        ~finally:(fun () -> Trace.end_span tr ~at:(now t) span)
+        (fun () ->
+          match Fsd.submit t.fsd (fun () -> exec_op t op) with
+          | (), tok -> tok
+          | exception Cedar_fsbase.Fs_error.Fs_error _ ->
+            s.errors <- s.errors + 1;
+            Fsd.always_durable)
+    in
+    if token = Fsd.always_durable then ()
+    else if Fsd.token_durable t.fsd token then
+      (* A mid-op force (the bulk-trigger backstop) already covered the
+         mutation: acknowledge with zero commit wait, no park. *)
+      begin
+        s.mutations <- s.mutations + 1;
+        Stats.add t.commit_wait_us 0.;
+        match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ()
+      end
+    else s.state <- Parked { token; since = now t; op }
+
+let step t s =
+  match s.steps with
+  | [] -> s.state <- Done
+  | step :: rest ->
+    s.steps <- rest;
+    (match step with
+    | Concurrent.Think us -> s.state <- Thinking { until = now t + us }
+    | Concurrent.Op op -> run_op t s op)
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler. *)
+
+let runnable t (s : session) =
+  match s.state with
+  | Ready -> true
+  | Thinking { until } -> until <= now t
+  | Parked _ | Done -> false
+
+(* Round-robin: scan from the cursor so no session can monopolise the
+   scheduler — after k steps every runnable session has run at least
+   once. *)
+let next_runnable t =
+  let n = Array.length t.sessions in
+  let rec scan i =
+    if i = n then None
+    else
+      let s = t.sessions.((t.cursor + i) mod n) in
+      if runnable t s then begin
+        t.cursor <- ((t.cursor + i + 1) mod n);
+        Some s
+      end
+      else scan (i + 1)
+  in
+  scan 0
+
+let all_done t =
+  Array.for_all (fun s -> s.state = Done) t.sessions
+
+(* Every live session is either thinking toward a known time or parked
+   waiting for the commit demon; the next interesting instant is the
+   earliest of those. *)
+let next_event_time t =
+  Array.fold_left
+    (fun acc s ->
+      match s.state with
+      | Thinking { until } -> min acc until
+      | Parked _ | Ready | Done -> acc)
+    (Fsd.commit_due_at t.fsd) t.sessions
+
+(* All remaining work is parked sessions whose scripts are exhausted:
+   nothing new can join the batch, so flush it now rather than sleeping
+   out the rest of the commit interval (shutdown semantics). *)
+let only_drain_left t =
+  (not (all_done t))
+  && Array.for_all
+       (fun s ->
+         match s.state with
+         | Done -> true
+         | Parked _ -> s.steps = []
+         | Ready | Thinking _ -> false)
+       t.sessions
+
+let create ?(config = default_config) fsd scripts =
+  if Array.length scripts = 0 then invalid_arg "Server.create: no scripts";
+  if config.max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
+  if config.queue_cap < 1 then invalid_arg "Server.create: queue_cap < 1";
+  let sessions =
+    Array.mapi
+      (fun client steps ->
+        {
+          client;
+          steps;
+          state = Ready;
+          ops = 0;
+          mutations = 0;
+          rejected = 0;
+          errors = 0;
+          wait_total_us = 0;
+          wait_max_us = 0;
+        })
+      scripts
+  in
+  let m = Fsd.metrics fsd in
+  let t =
+    {
+      fsd;
+      clock = Cedar_disk.Device.clock (Fsd.device fsd);
+      cfg = config;
+      sessions;
+      cursor = 0;
+      last_durable = Fsd.durable_seq fsd;
+      forces = 0;
+      commit_wait_us = Metrics.dist m "server.commit_wait_us";
+      batch_size = Metrics.dist m "server.batch_size";
+    }
+  in
+  Metrics.gauge m "server.queue_depth" (fun () -> parked_count t);
+  t
+
+let run t =
+  let t0 = now t in
+  let forces0 = (Fsd.counters t.fsd).Fsd.forces in
+  let rec loop () =
+    if not (all_done t) then begin
+      (match next_runnable t with
+      | Some s -> step t s
+      | None ->
+        if only_drain_left t then force_now t
+        else Simclock.advance_to t.clock (next_event_time t));
+      schedule_point t;
+      loop ()
+    end
+  in
+  loop ();
+  let duration_us = now t - t0 in
+  let log_forces = (Fsd.counters t.fsd).Fsd.forces - forces0 in
+  let total f = Array.fold_left (fun n s -> n + f s) 0 t.sessions in
+  let mutations_acked = total (fun s -> s.mutations) in
+  let dist_or d f default = if Stats.n d = 0 then default else f d in
+  {
+    clients = Array.length t.sessions;
+    duration_us;
+    total_ops = total (fun s -> s.ops);
+    mutations_acked;
+    server_forces = t.forces;
+    log_forces;
+    ops_per_force =
+      (if log_forces = 0 then 0.
+       else float_of_int mutations_acked /. float_of_int log_forces);
+    total_rejected = total (fun s -> s.rejected);
+    total_errors = total (fun s -> s.errors);
+    wait_n = Stats.n t.commit_wait_us;
+    wait_mean_us = dist_or t.commit_wait_us Stats.mean 0.;
+    wait_p50_us = dist_or t.commit_wait_us (fun d -> Stats.percentile d 0.50) 0.;
+    wait_p99_us = dist_or t.commit_wait_us (fun d -> Stats.percentile d 0.99) 0.;
+    wait_max_us = dist_or t.commit_wait_us Stats.max 0.;
+    batch_n = Stats.n t.batch_size;
+    batch_mean = dist_or t.batch_size Stats.mean 0.;
+    batch_max = dist_or t.batch_size Stats.max 0.;
+    per_session =
+      Array.to_list
+        (Array.map
+           (fun s ->
+             {
+               r_client = s.client;
+               r_ops = s.ops;
+               r_mutations = s.mutations;
+               r_rejected = s.rejected;
+               r_errors = s.errors;
+               r_wait_total_us = s.wait_total_us;
+               r_wait_max_us = s.wait_max_us;
+             })
+           t.sessions);
+  }
+
+let serve ?config fsd scripts = run (create ?config fsd scripts)
+
+(* Deterministic rendering: field order is fixed here, sessions are in
+   client order, so byte-identical reports mean identical runs. *)
+let report_json r =
+  let session s =
+    Jsonb.Obj
+      [
+        ("client", Jsonb.Int s.r_client);
+        ("ops", Jsonb.Int s.r_ops);
+        ("mutations", Jsonb.Int s.r_mutations);
+        ("rejected", Jsonb.Int s.r_rejected);
+        ("errors", Jsonb.Int s.r_errors);
+        ("wait_total_us", Jsonb.Int s.r_wait_total_us);
+        ("wait_max_us", Jsonb.Int s.r_wait_max_us);
+      ]
+  in
+  Jsonb.Obj
+    [
+      ("clients", Jsonb.Int r.clients);
+      ("duration_us", Jsonb.Int r.duration_us);
+      ("total_ops", Jsonb.Int r.total_ops);
+      ("mutations_acked", Jsonb.Int r.mutations_acked);
+      ("server_forces", Jsonb.Int r.server_forces);
+      ("log_forces", Jsonb.Int r.log_forces);
+      ("ops_per_force", Jsonb.Float r.ops_per_force);
+      ("rejected", Jsonb.Int r.total_rejected);
+      ("errors", Jsonb.Int r.total_errors);
+      ( "commit_wait_us",
+        Jsonb.Obj
+          [
+            ("n", Jsonb.Int r.wait_n);
+            ("mean", Jsonb.Float r.wait_mean_us);
+            ("p50", Jsonb.Float r.wait_p50_us);
+            ("p99", Jsonb.Float r.wait_p99_us);
+            ("max", Jsonb.Float r.wait_max_us);
+          ] );
+      ( "batch_size",
+        Jsonb.Obj
+          [
+            ("n", Jsonb.Int r.batch_n);
+            ("mean", Jsonb.Float r.batch_mean);
+            ("max", Jsonb.Float r.batch_max);
+          ] );
+      ("sessions", Jsonb.Arr (List.map session r.per_session));
+    ]

@@ -1,0 +1,105 @@
+(** Concurrent multi-client FSD server with a group-commit batcher.
+
+    A deterministic cooperative scheduler over the virtual clock: N
+    client sessions each replay a {!Cedar_workload.Concurrent.script}
+    against one {!Cedar_fsd.Fsd.t}. Operations run to completion; a
+    session that performed a metadata mutation parks on the batcher and
+    is acknowledged only when a log force covers its transaction — the
+    paper's §5.4 commit protocol ("the process doing the commit waits")
+    generalised to N clients sharing each force.
+
+    The batcher forces on three triggers: the half-second commit
+    interval, [max_batch] parked sessions, or an explicit client
+    [Force]. Under backpressure (the current log third nearly consumed)
+    the admission queue applies its depth cap: a mutating operation
+    arriving with [queue_cap] sessions already parked is rejected with a
+    typed {!error} — never blocked.
+
+    Determinism contract: given the same volume image, scripts and
+    configuration, two runs produce byte-identical {!report_json} output
+    (sessions are stepped round-robin by index; the only clock is the
+    simulated one; scripts carry their own seeds). *)
+
+type error = Queue_full of { depth : int; cap : int }
+(** Admission rejected a mutating operation: [depth] sessions were
+    parked against a cap of [cap] while the log third was past the
+    backpressure threshold. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type config = {
+  max_batch : int;  (** parked sessions that trigger an early force *)
+  queue_cap : int;  (** admission depth cap applied under backpressure *)
+  backpressure_fill : float;
+      (** {!Cedar_fsd.Fsd.log_third_fill} fraction above which the cap
+          applies; 0.0 makes it unconditional, 1.0 disables it *)
+  on_force : (int -> unit) option;
+      (** called with the force ordinal (1-based) just before each
+          server-initiated force — the crash-injection hook *)
+  on_ack : (client:int -> op:Cedar_workload.Concurrent.op -> unit) option;
+      (** called when a mutating operation's transaction becomes
+          durable and its session is released *)
+  on_reject : (client:int -> error -> unit) option;
+}
+
+val default_config : config
+(** [max_batch = 64], [queue_cap = 256], [backpressure_fill = 0.75],
+    no hooks. *)
+
+type t
+
+type session_report = {
+  r_client : int;
+  r_ops : int;  (** operations executed (rejected ones excluded) *)
+  r_mutations : int;  (** mutating operations acknowledged durable *)
+  r_rejected : int;
+  r_errors : int;  (** operations that raised [Fs_error] *)
+  r_wait_total_us : int;
+  r_wait_max_us : int;
+}
+
+type report = {
+  clients : int;
+  duration_us : int;
+  total_ops : int;
+  mutations_acked : int;
+  server_forces : int;  (** forces the scheduler initiated *)
+  log_forces : int;  (** all log forces, including mid-op backstops *)
+  ops_per_force : float;  (** mutations acked per log force *)
+  total_rejected : int;
+  total_errors : int;
+  wait_n : int;
+  wait_mean_us : float;
+  wait_p50_us : float;
+  wait_p99_us : float;
+  wait_max_us : float;
+  batch_n : int;  (** durable advances that released ≥1 session *)
+  batch_mean : float;  (** sessions released per advance *)
+  batch_max : float;
+  per_session : session_report list;
+}
+
+val create :
+  ?config:config -> Cedar_fsd.Fsd.t -> Cedar_workload.Concurrent.script array -> t
+(** Session [i] runs [scripts.(i)] as client [i]. Registers the
+    [server.queue_depth] gauge and [server.commit_wait_us] /
+    [server.batch_size] distributions in the volume's metrics registry.
+    Raises [Invalid_argument] on an empty script array or a
+    non-positive [max_batch]/[queue_cap]. *)
+
+val run : t -> report
+(** Drive every session to completion and drain the final batch. A
+    device crash planted by [on_force] propagates as
+    [Cedar_disk.Device.Crash_during_write] — by then every acknowledged
+    transaction is on disk and no unacknowledged one is. *)
+
+val serve :
+  ?config:config ->
+  Cedar_fsd.Fsd.t ->
+  Cedar_workload.Concurrent.script array ->
+  report
+(** [create] + [run]. *)
+
+val report_json : report -> Cedar_obs.Jsonb.t
+(** Deterministic rendering (fixed field order, sessions in client
+    order) — byte-identical across same-seed runs. *)

@@ -1,0 +1,250 @@
+(* Concurrent closed-loop client scripts.
+
+   A script is a pure description — no file-system handle in sight — so
+   the same script can be replayed by the server scheduler, compared
+   across runs, or parsed from a file. Generation is deterministic: equal
+   specs give byte-equal scripts. *)
+
+open Cedar_util
+
+type op =
+  | Create of { name : string; bytes : int; fill : int }
+  | Open of string
+  | Read of string
+  | Read_page of { name : string; page : int }
+  | Delete of string
+  | List of string
+  | Force
+
+type step = Think of int | Op of op
+type script = step list
+
+let content ~fill n = Bytes.init n (fun i -> Char.chr ((i + fill) mod 251))
+
+let pp_op ppf = function
+  | Create { name; bytes; _ } -> Format.fprintf ppf "create %s %d" name bytes
+  | Open name -> Format.fprintf ppf "open %s" name
+  | Read name -> Format.fprintf ppf "read %s" name
+  | Read_page { name; page } -> Format.fprintf ppf "read-page %s %d" name page
+  | Delete name -> Format.fprintf ppf "delete %s" name
+  | List prefix -> Format.fprintf ppf "list %s" prefix
+  | Force -> Format.fprintf ppf "force"
+
+let op_name = function
+  | Create { name; _ } | Open name | Read name
+  | Read_page { name; _ } | Delete name ->
+    name
+  | List prefix -> prefix
+  | Force -> ""
+
+let mutates = function
+  | Create _ | Delete _ -> true
+  | Open _ | Read _ | Read_page _ | List _ | Force -> false
+
+(* ------------------------------------------------------------------ *)
+(* The §7 make/do workload, one client's worth.
+
+   Mirrors [Makedo.build]: read each module's source, stat and touch its
+   dependencies, create-use-delete a compiler temp, emit the derived
+   object, and rewrite the build description — under the client's own
+   directory, with think time between operations (a developer's
+   edit-compile pause). *)
+
+type spec = {
+  modules : int;
+  deps_per_module : int;
+  rounds : int;
+  source_bytes : int;
+  think_us : int;  (** mean think time; actual draws are uniform in ±50% *)
+  seed : int;
+}
+
+let default_spec =
+  {
+    modules = 8;
+    deps_per_module = 2;
+    rounds = 2;
+    source_bytes = 3_000;
+    think_us = 50_000;
+    seed = 1;
+  }
+
+let client_dir client = Printf.sprintf "c%02d" client
+let source_name ~client i = Printf.sprintf "%s/src/M%03d.mesa" (client_dir client) i
+let object_name ~client i = Printf.sprintf "%s/bin/M%03d.bcd" (client_dir client) i
+let temp_name ~client i = Printf.sprintf "%s/tmp/M%03d.tmp" (client_dir client) i
+let df_name ~client = Printf.sprintf "%s/build/program.df" (client_dir client)
+
+let think rng spec acc =
+  if spec.think_us <= 0 then acc
+  else begin
+    let lo = spec.think_us / 2 in
+    Think (lo + Rng.int rng (max 1 spec.think_us)) :: acc
+  end
+
+let makedo_client spec ~client =
+  let rng = Rng.create (spec.seed + (client * 7919)) in
+  let acc = ref [] in
+  let push op = acc := Op op :: think rng spec !acc in
+  (* prepare: the sources and the build description *)
+  for i = 0 to spec.modules - 1 do
+    let bytes =
+      max 256 ((spec.source_bytes / 2) + Rng.int rng (max 1 spec.source_bytes))
+    in
+    push (Create { name = source_name ~client i; bytes; fill = i })
+  done;
+  push (Create { name = df_name ~client; bytes = 2_000; fill = 0 });
+  for round = 1 to spec.rounds do
+    for i = 0 to spec.modules - 1 do
+      push (Read (source_name ~client i));
+      for d = 1 to spec.deps_per_module do
+        let dep = (i + d) mod spec.modules in
+        push (Open (source_name ~client dep));
+        push (Read_page { name = source_name ~client dep; page = 0 })
+      done;
+      push (Create { name = temp_name ~client i; bytes = 1_500; fill = round });
+      push (Read_page { name = temp_name ~client i; page = 0 });
+      push (Delete (temp_name ~client i));
+      push
+        (Create
+           {
+             name = object_name ~client i;
+             bytes = max 512 (spec.source_bytes / 2);
+             fill = round + i;
+           })
+    done;
+    push (Create { name = df_name ~client; bytes = 2_200; fill = round });
+    push (List (client_dir client ^ "/bin/"))
+  done;
+  List.rev !acc
+
+let makedo_scripts spec ~clients =
+  Array.init clients (fun client -> makedo_client spec ~client)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial shapes for fairness and backpressure tests. *)
+
+let bulk_writer ~client ~files ~bytes ~think_us ~seed =
+  let rng = Rng.create seed in
+  let acc = ref [] in
+  for i = 0 to files - 1 do
+    if think_us > 0 then acc := Think (1 + Rng.int rng think_us) :: !acc;
+    acc :=
+      Op
+        (Create
+           {
+             name = Printf.sprintf "%s/bulk/f%04d" (client_dir client) i;
+             bytes;
+             fill = i;
+           })
+      :: !acc
+  done;
+  List.rev !acc
+
+let churn ~client ~ops ~bytes ~think_us ~seed =
+  let rng = Rng.create seed in
+  let acc = ref [] in
+  for i = 0 to ops - 1 do
+    if think_us > 0 then acc := Think (1 + Rng.int rng think_us) :: !acc;
+    let name = Printf.sprintf "%s/meta/f%02d" (client_dir client) (i mod 4) in
+    acc := Op (Create { name; bytes; fill = i }) :: !acc;
+    if i mod 2 = 1 then acc := Op (Delete name) :: !acc
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Script files: one step per line for [cedar serve --script].
+
+     # comment
+     think 5000
+     create {c}/a.txt 2048
+     open {c}/a.txt
+     read {c}/a.txt
+     read-page {c}/a.txt 0
+     delete {c}/a.txt
+     list {c}/
+     force
+
+   "{c}" in a name is replaced per client ("c00", "c01", ...), giving
+   each session its own namespace; a literal name shared by every client
+   exercises contention instead. *)
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let err fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  let int_of w k =
+    match int_of_string_opt w with
+    | Some n when n >= 0 -> k n
+    | Some _ | None -> err "%S is not a non-negative integer" w
+  in
+  match words with
+  | [] -> Ok None
+  | [ "think"; us ] -> int_of us (fun n -> Ok (Some (Think n)))
+  | [ "create"; name; bytes ] ->
+    int_of bytes (fun n -> Ok (Some (Op (Create { name; bytes = n; fill = lineno }))))
+  | [ "open"; name ] -> Ok (Some (Op (Open name)))
+  | [ "read"; name ] -> Ok (Some (Op (Read name)))
+  | [ "read-page"; name; page ] ->
+    int_of page (fun n -> Ok (Some (Op (Read_page { name; page = n }))))
+  | [ "delete"; name ] -> Ok (Some (Op (Delete name)))
+  | [ "list"; prefix ] -> Ok (Some (Op (List prefix)))
+  | [ "force" ] -> Ok (Some (Op Force))
+  | verb :: _ -> err "unknown or malformed step %S" verb
+
+let parse_script text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Error _ as e -> e
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some step) -> go (lineno + 1) (step :: acc) rest)
+  in
+  go 1 [] lines
+
+let substitute ~client name =
+  let marker = "{c}" in
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let rec go i =
+    if i >= n then ()
+    else if
+      i + 3 <= n && String.sub name i 3 = marker
+    then begin
+      Buffer.add_string b (client_dir client);
+      go (i + 3)
+    end
+    else begin
+      Buffer.add_char b name.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let instantiate script ~client =
+  List.map
+    (function
+      | Think _ as s -> s
+      | Op op ->
+        Op
+          (match op with
+          | Create c -> Create { c with name = substitute ~client c.name }
+          | Open name -> Open (substitute ~client name)
+          | Read name -> Read (substitute ~client name)
+          | Read_page p -> Read_page { p with name = substitute ~client p.name }
+          | Delete name -> Delete (substitute ~client name)
+          | List prefix -> List (substitute ~client prefix)
+          | Force -> Force))
+    script

@@ -1,0 +1,70 @@
+(** Concurrent closed-loop client scripts for the FSD server.
+
+    A {e script} is a pure description of one client session's behavior —
+    operations interleaved with think time — replayed by the server
+    scheduler (lib/server). Generation is deterministic: equal specs give
+    equal scripts, which is what makes server runs replayable from a
+    seed. *)
+
+type op =
+  | Create of { name : string; bytes : int; fill : int }
+      (** [fill] seeds the deterministic payload, see {!content} *)
+  | Open of string
+  | Read of string
+  | Read_page of { name : string; page : int }
+  | Delete of string
+  | List of string
+  | Force  (** explicit client force of the log (§5.4) *)
+
+type step = Think of int  (** client-side pause in microseconds *) | Op of op
+type script = step list
+
+val content : fill:int -> int -> bytes
+(** The deterministic payload a [Create] carries. *)
+
+val pp_op : Format.formatter -> op -> unit
+val op_name : op -> string
+val mutates : op -> bool
+(** Whether the operation leaves log-pending metadata (create/delete) —
+    the ops whose sessions park on the group-commit batcher. *)
+
+(** {1 The §7 make/do workload, per client} *)
+
+type spec = {
+  modules : int;
+  deps_per_module : int;
+  rounds : int;  (** build passes after the prepare phase *)
+  source_bytes : int;
+  think_us : int;  (** mean think time; draws are uniform in ±50% *)
+  seed : int;
+}
+
+val default_spec : spec
+
+val makedo_client : spec -> client:int -> script
+(** One client's closed-loop make/do session under its own directory
+    [c<NN>/]: create sources, then per round read sources, stat
+    dependencies, create-use-delete compiler temps and emit objects. *)
+
+val makedo_scripts : spec -> clients:int -> script array
+
+(** {1 Adversarial shapes (fairness and backpressure tests)} *)
+
+val bulk_writer :
+  client:int -> files:int -> bytes:int -> think_us:int -> seed:int -> script
+(** A session that streams large creates with little think time. *)
+
+val churn :
+  client:int -> ops:int -> bytes:int -> think_us:int -> seed:int -> script
+(** A session of small create/delete metadata traffic. *)
+
+(** {1 Script files ([cedar serve --script])} *)
+
+val parse_script : string -> (script, string) result
+(** Parse the one-step-per-line format ([think US], [create NAME BYTES],
+    [open NAME], [read NAME], [read-page NAME PAGE], [delete NAME],
+    [list PREFIX], [force]; [#] comments). *)
+
+val instantiate : script -> client:int -> script
+(** Replace every ["{c}"] in names with the client's directory ("c00",
+    "c01", ...) so each session gets its own namespace. *)

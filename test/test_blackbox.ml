@@ -305,9 +305,75 @@ let test_metrics_percentiles () =
     check int "n" 100 n
   | Obs.Metrics.Int _ -> Alcotest.fail "expected a distribution"
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint cadence (Params.blackbox_every_n_forces)                  *)
+
+(* Count checkpoints by the generation the on-disk black box reaches
+   after [forces] traced non-empty forces (no shutdown). *)
+let gen_after_forces ~cadence ~forces =
+  let geom = Geometry.small_test in
+  let clock = Simclock.create () in
+  let device = Device.create ~clock geom in
+  let params =
+    { (Params.for_geometry geom) with Params.blackbox_every_n_forces = cadence }
+  in
+  Fsd.format device params;
+  Obs.Trace.enable (Device.trace device);
+  let fs = fst (Fsd.boot ~params device) in
+  for i = 1 to forces do
+    ignore
+      (Fsd.create fs
+         ~name:(Printf.sprintf "cad/f%02d" i)
+         (Bytes.make 600 'c')
+        : Fs_ops.info);
+    Fsd.force fs
+  done;
+  match Blackbox.read device (Fsd.layout fs) with
+  | Ok cp -> Int64.to_int cp.Blackbox.state.Blackbox.gen
+  | Error m -> Alcotest.failf "blackbox unreadable: %s" m
+
+let test_checkpoint_cadence () =
+  (* Default cadence 1: one checkpoint per non-empty force. *)
+  check int "cadence 1: checkpoint every force" 6
+    (gen_after_forces ~cadence:1 ~forces:6);
+  (* Cadence 3: only every third non-empty force checkpoints. *)
+  check int "cadence 3: every third force" 2
+    (gen_after_forces ~cadence:3 ~forces:6)
+
+let test_shutdown_checkpoints_despite_cadence () =
+  (* A cadence larger than the run: no force ever checkpoints, but the
+     shutdown checkpoint is unconditional, so the flight recorder is
+     never left empty. *)
+  let geom = Geometry.small_test in
+  let clock = Simclock.create () in
+  let device = Device.create ~clock geom in
+  let params =
+    { (Params.for_geometry geom) with Params.blackbox_every_n_forces = 100 }
+  in
+  Fsd.format device params;
+  Obs.Trace.enable (Device.trace device);
+  let fs = fst (Fsd.boot ~params device) in
+  ignore (Fsd.create fs ~name:"cad/only" (Bytes.make 600 'c') : Fs_ops.info);
+  Fsd.force fs;
+  let layout = Fsd.layout fs in
+  (match Blackbox.read device layout with
+  | Ok cp -> Alcotest.failf "unexpected checkpoint gen %Ld before shutdown"
+               cp.Blackbox.state.Blackbox.gen
+  | Error _ -> ());
+  Fsd.shutdown fs;
+  match Blackbox.read device layout with
+  | Ok cp ->
+    check string "shutdown reason recorded" "shutdown"
+      cp.Blackbox.state.Blackbox.reason
+  | Error m -> Alcotest.failf "no shutdown checkpoint: %s" m
+
 let suite =
   [
     Alcotest.test_case "event codec roundtrips" `Quick test_codec_roundtrip;
+    Alcotest.test_case "checkpoint cadence throttles force checkpoints" `Quick
+      test_checkpoint_cadence;
+    Alcotest.test_case "shutdown checkpoints regardless of cadence" `Quick
+      test_shutdown_checkpoints_despite_cadence;
     Alcotest.test_case "shutdown checkpoint decodes" `Quick
       test_shutdown_checkpoint;
     Alcotest.test_case "crash names the in-flight op" `Quick

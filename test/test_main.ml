@@ -19,5 +19,6 @@ let () =
       ("properties", Test_props.suite);
       ("negative", Test_negative.suite);
       ("workload", Test_workload.suite);
+      ("server", Test_server.suite);
       ("integration", Test_integration.suite);
     ]
