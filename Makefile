@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench serve-smoke fmt fmt-check ci clean
+.PHONY: all check build test bench serve-smoke faultsweep-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -14,12 +14,14 @@ test:
 check: build test
 
 # Reproduce every paper table and regenerate the committed snapshots
-# (BENCH_OBS.json, BENCH_GROUPCOMMIT.json) so reviewers can diff
-# observability and group-commit-scaling output.
+# (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json) so
+# reviewers can diff observability, group-commit-scaling, and
+# crash-sweep output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
 	dune exec bench/main.exe -- clients --out BENCH_GROUPCOMMIT.json
+	dune exec bench/main.exe -- faultsweep --out BENCH_FAULTSWEEP.json
 
 # Determinism smoke: two same-seed 2-client server runs must produce
 # byte-identical JSON reports (the server's core contract).
@@ -34,6 +36,16 @@ serve-smoke:
 	cmp _build/serve-smoke/run1.json _build/serve-smoke/run2.json
 	@echo "serve-smoke: deterministic"
 
+# Crash-injection smoke: kill the 2-client server at every sector write
+# of the first three force intervals, once per tear mode, and reboot each
+# time. cedar faultsweep exits non-zero on any recovery-contract
+# violation, so this line IS the assertion.
+faultsweep-smoke:
+	dune build bin/cedar.exe
+	./_build/default/bin/cedar.exe faultsweep --clients 2 --max-forces 3 \
+		--tear all > /dev/null
+	@echo "faultsweep-smoke: zero violations"
+
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
 	-dune fmt
@@ -45,7 +57,7 @@ fmt-check:
 		echo "fmt-check: ocamlformat not installed, skipping"; \
 	fi
 
-ci: fmt-check check serve-smoke
+ci: fmt-check check serve-smoke faultsweep-smoke
 
 clean:
 	dune clean

@@ -8,7 +8,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|all] [--micro] [--out PATH]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|all] [--micro] [--out PATH]";
   exit 2
 
 let () =
@@ -45,6 +45,7 @@ let () =
     | "fragmentation" -> Bench_tables.fragmentation ()
     | "obs-json" -> Obs_json.run ?out ()
     | "clients" -> Bench_clients.run ?out ()
+    | "faultsweep" -> Bench_faultsweep.run ?out ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()
   in

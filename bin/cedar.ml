@@ -16,6 +16,7 @@
      cedar trace vol.img --chrome out.json   export the span tree for Perfetto
      cedar profile vol.img [--json]      latency + group-commit profiles
      cedar serve vol.img --clients N     concurrent sessions over group commit
+     cedar faultsweep [--tear MODE]      crash the server at every sector write
      cedar blackbox vol.img [--json]     decode the on-disk flight recorder
 
    Mutating commands shut the file system down cleanly before saving the
@@ -455,6 +456,30 @@ let cmd_serve path clients script_file seed think_us rounds json =
             r.S.per_session
         end)
 
+(* Systematic crash-injection sweep over the server path. Runs on fresh
+   in-memory volumes (the deterministic 2-client reference workload is
+   replayed once per crash coordinate), so there is no IMAGE argument
+   and nothing on disk is touched. *)
+let cmd_faultsweep clients tear max_forces scavenge json =
+  let module F = Cedar_server.Faultsweep in
+  if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
+  if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
+  (match max_forces with
+  | Some k when k <= 0 -> fail "--max-forces must be positive (got %d)" k
+  | Some _ | None -> ());
+  let tears =
+    match tear with
+    | "all" -> F.all_tears
+    | t -> (
+      match F.tear_of_name t with
+      | Some m -> [ m ]
+      | None -> fail "unknown tear mode %S (none|zero|garbage|damage|all)" t)
+  in
+  let s = F.sweep { F.clients; tears; max_forces; scavenge } in
+  if json then print_endline (Obs.Jsonb.to_string_pretty (F.summary_json s))
+  else Format.printf "%a@." F.pp s;
+  if s.F.sw_violations <> [] then exit 1
+
 (* Decode the on-disk flight recorder WITHOUT booting: no recovery runs,
    so this is the pre-crash view — what the system believed at its last
    group-commit force. Only the boot page is trusted (for the layout
@@ -641,6 +666,49 @@ let serve_cmd =
           same-seed runs produce byte-identical reports)")
     Term.(const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json)
 
+let faultsweep_cmd =
+  let clients =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"concurrent sessions in the reference workload")
+  in
+  let tear =
+    Arg.(
+      value & opt string "all"
+      & info [ "tear" ] ~docv:"MODE"
+          ~doc:
+            "how the interrupted sector is left behind: none (write never \
+             starts), zero, garbage, damage (unreadable), or all")
+  in
+  let max_forces =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-forces" ] ~docv:"K"
+          ~doc:"sweep only the first $(docv) force intervals")
+  in
+  let scavenge =
+    Arg.(
+      value & flag
+      & info [ "scavenge" ]
+          ~doc:
+            "destroy both name-table copies after every crash, forcing \
+             recovery through the scavenger of last resort")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the deterministic JSON summary")
+  in
+  Cmd.v
+    (Cmd.info "faultsweep"
+       ~doc:
+         "crash the multi-client server at every sector write of every \
+          group-commit force interval (optionally tearing the interrupted \
+          sector), reboot each time, and check the recovery contract: acked \
+          mutations byte-exact, unacked wholly absent, VAM consistent with \
+          the name table, flight recorder decodable. Runs on fresh in-memory \
+          volumes; exits non-zero on any violation")
+    Term.(const cmd_faultsweep $ clients $ tear $ max_forces $ scavenge $ json)
+
 let blackbox_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit one JSON object")
@@ -679,5 +747,6 @@ let () =
             trace_cmd;
             profile_cmd;
             serve_cmd;
+            faultsweep_cmd;
             blackbox_cmd;
           ]))

@@ -4,6 +4,12 @@ type fault_kind =
   | Damaged
   | Label_mismatch of { expected : Label.t; found : Label.t }
 
+type tear =
+  | Tear_none
+  | Tear_zero
+  | Tear_garbage
+  | Tear_damage of int
+
 exception Error of { sector : int; kind : fault_kind }
 exception Crash_during_write of { sector : int }
 
@@ -20,7 +26,7 @@ type t = {
   trace : Trace.t;
   metrics : Metrics.t;
   mutable head_cyl : int;
-  mutable write_crash : (int * int) option; (* sectors until trigger, tail *)
+  mutable write_crash : (int * tear) option; (* sectors until trigger, tear *)
   mutable observer : (rw:[ `R | `W ] -> sector:int -> count:int -> unit) option;
 }
 
@@ -165,14 +171,33 @@ let crash_budget t count =
 let consume_write_budget t n =
   match t.write_crash with
   | None -> ()
-  | Some (remaining, tail) -> t.write_crash <- Some (remaining - n, tail)
+  | Some (remaining, tear) -> t.write_crash <- Some (remaining - n, tear)
 
-let fire_crash t ~sector ~tail =
+(* Deterministic "noise off the head" for a torn sector: a function of the
+   sector number only, so sweeps are reproducible. *)
+let garbage_sector t sector =
+  Bytes.init t.geom.Geometry.sector_bytes (fun i ->
+      Char.chr (((sector * 131) + (i * 7) + 13) land 0xff))
+
+let fire_crash t ~sector ~tear =
   t.write_crash <- None;
-  for i = 0 to tail - 1 do
-    let s = sector + i in
-    if s < Geometry.total_sectors t.geom then Hashtbl.replace t.damaged s ()
-  done;
+  (match tear with
+  | Tear_none -> () (* power fails before the head reaches the sector *)
+  | Tear_zero ->
+      if sector < Geometry.total_sectors t.geom then begin
+        store t sector (Bytes.make t.geom.Geometry.sector_bytes '\000');
+        Hashtbl.remove t.damaged sector
+      end
+  | Tear_garbage ->
+      if sector < Geometry.total_sectors t.geom then begin
+        store t sector (garbage_sector t sector);
+        Hashtbl.remove t.damaged sector
+      end
+  | Tear_damage tail ->
+      for i = 0 to tail - 1 do
+        let s = sector + i in
+        if s < Geometry.total_sectors t.geom then Hashtbl.replace t.damaged s ()
+      done);
   raise (Crash_during_write { sector })
 
 (* ------------------------------------------------------------------ *)
@@ -208,7 +233,7 @@ let write_sectors t ~sector ~count ~get =
   consume_write_budget t budget;
   if budget < count then
     match t.write_crash with
-    | Some (_, tail) -> fire_crash t ~sector:(sector + budget) ~tail
+    | Some (_, tear) -> fire_crash t ~sector:(sector + budget) ~tear
     | None -> assert false
 
 let write_run t ~sector b =
@@ -335,10 +360,16 @@ let corrupt t s ~rng =
 
 let is_damaged t s = Hashtbl.mem t.damaged s
 
+let plan_write_crash_tear t ~after_sectors ~tear =
+  if after_sectors < 0 then invalid_arg "Device.plan_write_crash_tear";
+  (match tear with
+  | Tear_damage tail when tail < 0 || tail > 2 ->
+      invalid_arg "Device.plan_write_crash_tear: damage tail"
+  | _ -> ());
+  t.write_crash <- Some (after_sectors, tear)
+
 let plan_write_crash t ~after_sectors ~damage_tail =
-  if after_sectors < 0 || damage_tail < 0 || damage_tail > 2 then
-    invalid_arg "Device.plan_write_crash";
-  t.write_crash <- Some (after_sectors, damage_tail)
+  plan_write_crash_tear t ~after_sectors ~tear:(Tear_damage damage_tail)
 
 let cancel_write_crash t = t.write_crash <- None
 let set_observer t f = t.observer <- f

@@ -18,6 +18,15 @@ type fault_kind =
   | Damaged  (** media error: read fails *)
   | Label_mismatch of { expected : Label.t; found : Label.t }
 
+type tear =
+  | Tear_none  (** power fails before the head reaches the sector *)
+  | Tear_zero  (** the interrupted sector reads back as zeroes *)
+  | Tear_garbage  (** the interrupted sector reads back as noise *)
+  | Tear_damage of int
+      (** 0–2 sectors become media errors (the legacy §5.3 model) *)
+(** What the crash leaves behind at the first unwritten sector of the
+    interrupted command. *)
+
 exception Error of { sector : int; kind : fault_kind }
 
 exception Crash_during_write of { sector : int }
@@ -109,7 +118,15 @@ val is_damaged : t -> int -> bool
 val plan_write_crash : t -> after_sectors:int -> damage_tail:int -> unit
 (** Arm a fault: after [after_sectors] more sectors have been written, the
     current command stops; [damage_tail] (1 or 2) further sectors of the
-    command are damaged; [Crash_during_write] is raised. *)
+    command are damaged; [Crash_during_write] is raised. Equivalent to
+    {!plan_write_crash_tear} with [Tear_damage damage_tail]. *)
+
+val plan_write_crash_tear : t -> after_sectors:int -> tear:tear -> unit
+(** Arm a fault with an explicit tear mode for the sector the command was
+    interrupted at: [Tear_none] leaves it untouched (clean prefix),
+    [Tear_zero]/[Tear_garbage] store a zeroed/noise sector first (a torn
+    write that still reads back without a media error), [Tear_damage n]
+    marks [n] sectors as media errors. *)
 
 val cancel_write_crash : t -> unit
 

@@ -1,0 +1,497 @@
+(* Systematic crash-injection sweep for the concurrent server path.
+
+   One recording pass replays the deterministic reference workload
+   (Concurrent.crash_reference) on a fresh volume with a Crash_plan
+   attached, purely to learn how many sector writes each force interval
+   contains. The sweep then re-runs the identical workload once per
+   (force interval, sector-write offset, tear mode) coordinate, killing
+   the device at exactly that write, and checks the §5.4 contract on the
+   rebooted volume:
+
+   - every acknowledged mutation is present with byte-exact content, and
+     every unacknowledged one is wholly absent — precisely: each
+     client's recovered namespace equals the fold of some prefix of its
+     mutating ops no shorter than its acked count (the crash can fall
+     between a force and the acks it releases, so committed-but-unacked
+     is legal; a lost ack'd op or a partially applied op is not);
+   - the rebuilt VAM agrees with the name table: the empty volume's free
+     count minus the distinct sectors the recovered entries claim equals
+     the recovered free count (Fsd.check separately audits the converse
+     direction and leader/entry agreement);
+   - the black-box region decodes to exactly the generation of the last
+     checkpoint that completed before the crash — a torn checkpoint
+     write must fall back to the older slot, never abort the decode.
+
+   With [scavenge] set the harness additionally destroys both copies of
+   the entire name table after the crash, forcing recovery through
+   Scavenge.run. The scavenger rebuilds from leader pages, which are
+   written synchronously at create and survive deletes it cannot prove,
+   so the oracle weakens to: boot succeeds, the structural check passes,
+   everything present is byte-exact, and every acked create whose name
+   the script never deletes is present. *)
+
+open Cedar_util
+open Cedar_disk
+open Cedar_fsd
+open Cedar_workload
+module Metrics = Cedar_obs.Metrics
+module Trace = Cedar_obs.Trace
+module Jsonb = Cedar_obs.Jsonb
+
+type cfg = {
+  clients : int;
+  tears : Device.tear list;
+  max_forces : int option;  (** sweep only intervals [0 .. k-1] *)
+  scavenge : bool;  (** destroy both FNT copies before every reboot *)
+}
+
+let all_tears =
+  [ Device.Tear_none; Device.Tear_zero; Device.Tear_garbage; Device.Tear_damage 1 ]
+
+let default_cfg =
+  { clients = 2; tears = all_tears; max_forces = None; scavenge = false }
+
+let tear_name = function
+  | Device.Tear_none -> "none"
+  | Device.Tear_zero -> "zero"
+  | Device.Tear_garbage -> "garbage"
+  | Device.Tear_damage n -> Printf.sprintf "damage%d" n
+
+let tear_of_name = function
+  | "none" -> Some Device.Tear_none
+  | "zero" -> Some Device.Tear_zero
+  | "garbage" -> Some Device.Tear_garbage
+  | "damage" -> Some (Device.Tear_damage 1)
+  | _ -> None
+
+type path = Replay | Twin_repair | Scavenged
+
+type violation = {
+  v_force : int;
+  v_write : int;
+  v_tear : string;
+  v_what : string;
+}
+
+type summary = {
+  sw_clients : int;
+  sw_scavenge : bool;
+  sw_writes_per_interval : int array;
+  sw_points : int;  (** (interval, write) coordinates enumerated *)
+  sw_runs : int;  (** crash runs executed (points × tear modes) *)
+  sw_replay : int;
+  sw_twin_repair : int;
+  sw_scavenged : int;
+  sw_violations : violation list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The per-client model: fold a prefix of the mutating ops.            *)
+
+type mut =
+  | Mcreate of { name : string; bytes : int; fill : int }
+  | Mdelete of string
+
+let muts_of_script script =
+  List.filter_map
+    (function
+      | Concurrent.Op (Concurrent.Create { name; bytes; fill }) ->
+        Some (Mcreate { name; bytes; fill })
+      | Concurrent.Op (Concurrent.Delete name) -> Some (Mdelete name)
+      | _ -> None)
+    script
+
+let mut_names muts =
+  List.sort_uniq String.compare
+    (List.map (function Mcreate { name; _ } -> name | Mdelete n -> n) muts)
+
+(* Expected name -> Some (bytes, fill) | None after the first [i] muts. *)
+let state_after muts i =
+  let tbl = Hashtbl.create 13 in
+  List.iteri
+    (fun j m ->
+      if j < i then
+        match m with
+        | Mcreate { name; bytes; fill } ->
+          Hashtbl.replace tbl name (Some (bytes, fill))
+        | Mdelete name -> Hashtbl.replace tbl name None)
+    muts;
+  tbl
+
+let actual_file fs ~name =
+  if not (Fsd.exists fs ~name) then Ok None
+  else
+    match Fsd.read_all fs ~name with
+    | b -> Ok (Some b)
+    | exception e -> Error (Printexc.to_string e)
+
+(* Does the recovered state equal the fold of the first [i] muts? *)
+let matches_prefix fs muts names i =
+  let expect = state_after muts i in
+  List.for_all
+    (fun name ->
+      let want = try Hashtbl.find expect name with Not_found -> None in
+      match (actual_file fs ~name, want) with
+      | Ok None, None -> true
+      | Ok (Some b), Some (bytes, fill) ->
+        Bytes.equal b (Concurrent.content ~fill bytes)
+      | Ok _, _ | Error _, _ -> false)
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Volume construction and calibration.                                *)
+
+type base = {
+  geom : Geometry.t;
+  params : Params.t;
+  layout : Layout.t;
+  scripts : Concurrent.script array;
+  muts : mut list array;  (* per client *)
+  names : string list array;  (* per client *)
+  writes : int array;  (* per force interval, from the recording pass *)
+  baseline_free : int;  (* free sectors of the empty volume *)
+  first_gen : int64;  (* generation of the first blackbox checkpoint *)
+}
+
+let fresh_volume base =
+  let clock = Simclock.create () in
+  let device = Device.create ~clock base.geom in
+  (* Checkpoints (and so the black-box oracle) exist only while tracing. *)
+  Trace.enable (Device.trace device);
+  Fsd.format device base.params;
+  let fs, _ = Fsd.boot device in
+  (device, fs)
+
+let checkpoints_done device =
+  match Metrics.read (Device.metrics device) "fsd.blackbox_checkpoints" with
+  | Some n -> n
+  | None -> 0
+
+let server_config plan =
+  {
+    Server.default_config with
+    Server.on_force = Some (fun _ -> Crash_plan.note_force plan);
+  }
+
+let calibrate ~clients geom =
+  let params = Params.for_geometry geom in
+  let scripts = Concurrent.crash_reference ~clients in
+  let muts = Array.map muts_of_script scripts in
+  let names = Array.map mut_names muts in
+  let baseline_free =
+    let clock = Simclock.create () in
+    let device = Device.create ~clock geom in
+    Fsd.format device params;
+    let fs, _ = Fsd.boot device in
+    Fsd.free_sectors fs
+  in
+  let pre =
+    {
+      geom;
+      params;
+      layout = Layout.compute geom params;
+      scripts;
+      muts;
+      names;
+      writes = [||];
+      baseline_free;
+      first_gen = 1L;
+    }
+  in
+  let device, fs = fresh_volume pre in
+  let plan = Crash_plan.attach device in
+  let r = Server.serve ~config:(server_config plan) fs scripts in
+  Crash_plan.detach plan;
+  if r.Server.total_errors > 0 || r.Server.total_rejected > 0
+     || r.Server.total_aborted > 0 || r.Server.total_dropped > 0
+  then
+    invalid_arg
+      "Faultsweep.calibrate: the reference workload must replay clean";
+  let n = checkpoints_done device in
+  let first_gen =
+    match Blackbox.read device (Fsd.layout fs) with
+    | Ok cp when n > 0 -> Int64.sub cp.Blackbox.state.Blackbox.gen (Int64.of_int (n - 1))
+    | Ok _ | Error _ -> 1L
+  in
+  {
+    pre with
+    layout = Fsd.layout fs;
+    writes = Crash_plan.writes_per_interval plan;
+    first_gen;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Post-crash checks.                                                  *)
+
+let destroy_fnt device (layout : Layout.t) =
+  for k = 0 to layout.Layout.fnt_sectors - 1 do
+    Device.damage device (layout.Layout.fnt_a_start + k);
+    Device.damage device (layout.Layout.fnt_b_start + k)
+  done
+
+(* [n] checkpoints completed before the crash, so the slot holding
+   generation [first_gen + n - 1] is intact and a decode must never come
+   back older than it (or fail outright). Decoding one generation newer
+   is legal: the crash may have interrupted checkpoint [n+1]'s slot
+   command after every meaningful byte already landed — the torn tail
+   was only padding, so both CRCs pass. *)
+let check_blackbox base device add =
+  let n = checkpoints_done device in
+  let last = Int64.add base.first_gen (Int64.of_int (n - 1)) in
+  match Blackbox.read device base.layout with
+  | Ok cp ->
+    let gen = cp.Blackbox.state.Blackbox.gen in
+    let in_flight = Int64.add last 1L in
+    if not (Int64.equal gen last || Int64.equal gen in_flight) then
+      add
+        (Printf.sprintf
+           "blackbox gen %Ld after %d completed checkpoints, want %Ld or %Ld"
+           gen n last in_flight)
+  | Error m ->
+    if n > 0 then
+      add
+        (Printf.sprintf "blackbox undecodable after %d completed checkpoints: %s" n m)
+
+let check_vam base fs add =
+  let claimed = Hashtbl.create 256 in
+  Fsd.fold_entries fs ~init:() ~f:(fun () ~name:_ ~version:_ e ->
+      if e.Cedar_fsbase.Entry.anchor >= 0 then begin
+        Hashtbl.replace claimed e.Cedar_fsbase.Entry.anchor ();
+        Cedar_fsbase.Run_table.iter_sectors e.Cedar_fsbase.Entry.runs (fun s ->
+            Hashtbl.replace claimed s ())
+      end);
+  let free = Fsd.free_sectors fs in
+  let want = base.baseline_free - Hashtbl.length claimed in
+  if free <> want then
+    add
+      (Printf.sprintf "VAM free count %d disagrees with name table (want %d)"
+         free want)
+
+(* Strict oracle: each client's recovered namespace is the fold of a
+   prefix of its mutating ops at least as long as its acked count. *)
+let check_clients base fs acked add =
+  Array.iteri
+    (fun client muts ->
+      let names = base.names.(client) in
+      let acked_count =
+        List.length (List.filter (fun (c, _) -> c = client) acked)
+      in
+      let len = List.length muts in
+      if acked_count > len then
+        add (Printf.sprintf "client %d acked %d of %d muts" client acked_count len)
+      else begin
+        let rec search i =
+          if i > len then false
+          else matches_prefix fs muts names i || search (i + 1)
+        in
+        if not (search acked_count) then
+          add
+            (Printf.sprintf
+               "client %d: no mutation prefix >= %d acked ops explains the \
+                recovered state"
+               client acked_count)
+      end)
+    base.muts
+
+(* Weakened oracle for scavenged volumes. The scavenger legitimately
+   resurrects unacked creates (leaders are written synchronously, and
+   the interrupted write may have been that create's own data — so even
+   their content is unconstrained) and acked deletes (their FNT proof
+   was destroyed with the table; their sectors may since have been
+   reused, costing them to a newer claim). What it must never do is lose
+   or corrupt an acked create the script never deletes: that file's data
+   was fully on disk before the ack and nothing ever freed it. *)
+let check_clients_scavenged base fs acked add =
+  Array.iteri
+    (fun client muts ->
+      let deleted =
+        List.filter_map (function Mdelete n -> Some n | _ -> None) muts
+      in
+      let acked_creates =
+        List.filter_map
+          (fun (c, op) ->
+            match op with
+            | Concurrent.Create { name; _ } when c = client -> Some name
+            | _ -> None)
+          acked
+      in
+      List.iter
+        (fun m ->
+          match m with
+          | Mcreate { name; bytes; fill }
+            when List.mem name acked_creates && not (List.mem name deleted)
+            -> (
+            match actual_file fs ~name with
+            | Ok None -> add (Printf.sprintf "scavenge lost acked create %s" name)
+            | Ok (Some b) ->
+              if not (Bytes.equal b (Concurrent.content ~fill bytes)) then
+                add (Printf.sprintf "scavenged content of %s is wrong" name)
+            | Error m -> add (Printf.sprintf "%s unreadable: %s" name m))
+          | Mcreate _ | Mdelete _ -> ())
+        muts)
+    base.muts
+
+(* Every recovered name must come from the reference scripts. *)
+let check_no_aliens base fs add =
+  let known = Hashtbl.create 64 in
+  Array.iter
+    (fun names -> List.iter (fun n -> Hashtbl.replace known n ()) names)
+    base.names;
+  Fsd.fold_entries fs ~init:() ~f:(fun () ~name ~version:_ _ ->
+      if not (Hashtbl.mem known name) then
+        add (Printf.sprintf "recovered a name no script created: %s" name))
+
+(* ------------------------------------------------------------------ *)
+(* The sweep.                                                          *)
+
+let run_point cfg base ~force ~write ~tear =
+  let device, fs = fresh_volume base in
+  let plan = Crash_plan.attach device in
+  Crash_plan.arm plan ~force ~write ~tear;
+  let server = Server.create ~config:(server_config plan) fs base.scripts in
+  let violations = ref [] in
+  let add what =
+    violations :=
+      { v_force = force; v_write = write; v_tear = tear_name tear; v_what = what }
+      :: !violations
+  in
+  let path =
+    match Server.run_to_crash server with
+    | Server.Completed _ ->
+      add "armed crash never fired";
+      None
+    | Server.Crashed _ ->
+      Crash_plan.detach plan;
+      Device.cancel_write_crash device;
+      let acked = Server.acked server in
+      check_blackbox base device add;
+      if cfg.scavenge then destroy_fnt device base.layout;
+      let booted =
+        match Fsd.try_boot device with
+        | `Ok (fs2, _) ->
+          if not cfg.scavenge && Fsd.fnt_repairs fs2 > 0 then
+            Some (fs2, Twin_repair)
+          else Some (fs2, Replay)
+        | `Needs_scavenge reason ->
+          if not cfg.scavenge then
+            add ("log replay insufficient, wanted scavenge: " ^ reason);
+          ignore (Scavenge.run device : Scavenge.report);
+          (match Fsd.boot device with
+          | fs2, _ -> Some (fs2, Scavenged)
+          | exception e ->
+            add ("boot after scavenge raised " ^ Printexc.to_string e);
+            None)
+        | exception e ->
+          add ("reboot raised " ^ Printexc.to_string e);
+          None
+      in
+      (match booted with
+      | None -> None
+      | Some (fs2, path) ->
+        (match Fsd.check fs2 with
+        | Ok () -> ()
+        | Error m -> add ("structural check failed: " ^ m));
+        check_no_aliens base fs2 add;
+        if cfg.scavenge || path = Scavenged then
+          check_clients_scavenged base fs2 acked add
+        else begin
+          check_clients base fs2 acked add;
+          check_vam base fs2 add
+        end;
+        Some path)
+  in
+  (path, List.rev !violations)
+
+let sweep ?(geom = Geometry.small_test) cfg =
+  if cfg.clients < 1 then invalid_arg "Faultsweep.sweep: clients < 1";
+  if cfg.tears = [] then invalid_arg "Faultsweep.sweep: no tear modes";
+  let base = calibrate ~clients:cfg.clients geom in
+  let intervals =
+    match cfg.max_forces with
+    | Some k -> min k (Array.length base.writes)
+    | None -> Array.length base.writes
+  in
+  let points = ref 0 and runs = ref 0 in
+  let replay = ref 0 and twin = ref 0 and scav = ref 0 in
+  let violations = ref [] in
+  for force = 0 to intervals - 1 do
+    for write = 0 to base.writes.(force) - 1 do
+      incr points;
+      List.iter
+        (fun tear ->
+          incr runs;
+          let path, vs = run_point cfg base ~force ~write ~tear in
+          (match path with
+          | Some Replay -> incr replay
+          | Some Twin_repair -> incr twin
+          | Some Scavenged -> incr scav
+          | None -> ());
+          violations := List.rev_append vs !violations)
+        cfg.tears
+    done
+  done;
+  {
+    sw_clients = cfg.clients;
+    sw_scavenge = cfg.scavenge;
+    sw_writes_per_interval = base.writes;
+    sw_points = !points;
+    sw_runs = !runs;
+    sw_replay = !replay;
+    sw_twin_repair = !twin;
+    sw_scavenged = !scav;
+    sw_violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let violation_json v =
+  Jsonb.Obj
+    [
+      ("force", Jsonb.Int v.v_force);
+      ("write", Jsonb.Int v.v_write);
+      ("tear", Jsonb.Str v.v_tear);
+      ("what", Jsonb.Str v.v_what);
+    ]
+
+let summary_json s =
+  Jsonb.Obj
+    [
+      ("clients", Jsonb.Int s.sw_clients);
+      ("scavenge", Jsonb.Bool s.sw_scavenge);
+      ( "writes_per_interval",
+        Jsonb.Arr
+          (Array.to_list (Array.map (fun n -> Jsonb.Int n) s.sw_writes_per_interval))
+      );
+      ("points", Jsonb.Int s.sw_points);
+      ("runs", Jsonb.Int s.sw_runs);
+      ( "recovery_paths",
+        Jsonb.Obj
+          [
+            ("replay", Jsonb.Int s.sw_replay);
+            ("twin_repair", Jsonb.Int s.sw_twin_repair);
+            ("scavenge", Jsonb.Int s.sw_scavenged);
+          ] );
+      ("violations", Jsonb.Arr (List.map violation_json s.sw_violations));
+    ]
+
+let pp ppf s =
+  Format.fprintf ppf "crash sweep: %d client(s)%s@." s.sw_clients
+    (if s.sw_scavenge then " (scavenge mode)" else "");
+  Format.fprintf ppf "  force intervals: %d  writes per interval: [%s]@."
+    (Array.length s.sw_writes_per_interval)
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int s.sw_writes_per_interval)));
+  Format.fprintf ppf "  points swept: %d  crash runs: %d@." s.sw_points s.sw_runs;
+  Format.fprintf ppf
+    "  recovery paths: log-replay %d, twin-repair %d, scavenge %d@." s.sw_replay
+    s.sw_twin_repair s.sw_scavenged;
+  match s.sw_violations with
+  | [] -> Format.fprintf ppf "  violations: none@."
+  | vs ->
+    Format.fprintf ppf "  violations: %d@." (List.length vs);
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "    force %d write %d tear %s: %s@." v.v_force
+          v.v_write v.v_tear v.v_what)
+      vs

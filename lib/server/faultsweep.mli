@@ -1,0 +1,68 @@
+(** Systematic crash-injection sweep for the concurrent server path.
+
+    A recording pass replays the deterministic
+    {!Cedar_workload.Concurrent.crash_reference} workload once with a
+    {!Cedar_disk.Crash_plan} attached to learn how many sector writes
+    each force interval contains; {!sweep} then re-runs the identical
+    workload once per (force interval × sector-write offset × tear mode)
+    coordinate, kills the device at exactly that write, reboots via
+    [Fsd.try_boot] (falling through to [Scavenge.run]), and checks the
+    §5.4 contract: acked mutations present and byte-exact, unacked ones
+    wholly absent (each client's recovered namespace must equal a
+    mutation prefix no shorter than its acked count), the rebuilt VAM in
+    agreement with the name table, and the black-box region decoding to
+    exactly the last completed checkpoint generation. *)
+
+type cfg = {
+  clients : int;
+  tears : Cedar_disk.Device.tear list;  (** modes run per crash point *)
+  max_forces : int option;  (** sweep only force intervals [0 .. k-1] *)
+  scavenge : bool;
+      (** destroy both FNT copies before every reboot, forcing recovery
+          through the scavenger (weakened oracle: scavenge legitimately
+          resurrects unacked creates and acked deletes from leaders) *)
+}
+
+val default_cfg : cfg
+(** 2 clients, every tear mode, all force intervals, no scavenging. *)
+
+val all_tears : Cedar_disk.Device.tear list
+(** [Tear_none], [Tear_zero], [Tear_garbage], [Tear_damage 1]. *)
+
+val tear_name : Cedar_disk.Device.tear -> string
+val tear_of_name : string -> Cedar_disk.Device.tear option
+(** ["none"], ["zero"], ["garbage"], ["damage"]. *)
+
+type path = Replay | Twin_repair | Scavenged
+(** How a crashed volume came back: plain log replay, log replay that
+    also repaired an FNT copy from its twin, or the scavenger. *)
+
+type violation = {
+  v_force : int;  (** force interval the crash was planted in *)
+  v_write : int;  (** sector-write offset within the interval *)
+  v_tear : string;
+  v_what : string;
+}
+
+type summary = {
+  sw_clients : int;
+  sw_scavenge : bool;
+  sw_writes_per_interval : int array;
+  sw_points : int;  (** (interval, write) coordinates enumerated *)
+  sw_runs : int;  (** crash runs executed (points × tear modes) *)
+  sw_replay : int;
+  sw_twin_repair : int;
+  sw_scavenged : int;
+  sw_violations : violation list;
+}
+
+val sweep : ?geom:Cedar_disk.Geometry.t -> cfg -> summary
+(** Run the full sweep on fresh in-memory volumes ([Geometry.small_test]
+    by default). Raises [Invalid_argument] if the reference workload
+    does not replay clean, or on an empty tear list / non-positive
+    client count. *)
+
+val summary_json : summary -> Cedar_obs.Jsonb.t
+(** Deterministic rendering, byte-identical across runs. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -12,10 +12,13 @@
    - size: [max_batch] sessions parked;
    - explicit: a client [Force] step.
 
-   Backpressure: when the current log third is nearly consumed
-   ([backpressure_fill]) the admission queue applies its depth cap —
-   a mutating op arriving while [queue_cap] sessions are already parked
-   is rejected with a typed error, never blocked.
+   Admission control rejects — never blocks — with two distinct typed
+   triggers: [Queue_full] when [queue_cap] sessions are already parked
+   (unconditional, so the parked queue is bounded at any log fill), and
+   [Backpressure] when the current log third is past [backpressure_fill].
+   A rejected step is re-parked and retried after the next commit
+   opportunity, up to [admission_retries] times; only then is it dropped,
+   and the drop is counted in the report rather than silently lost.
 
    Determinism: sessions are stepped round-robin by index, the only
    clock is [Simclock], and the only randomness is the script
@@ -27,15 +30,22 @@ open Cedar_obs
 open Cedar_fsd
 open Cedar_workload
 
-type error = Queue_full of { depth : int; cap : int }
+type error =
+  | Queue_full of { depth : int; cap : int }
+  | Backpressure of { depth : int; fill : float; threshold : float }
 
-let pp_error ppf (Queue_full { depth; cap }) =
-  Format.fprintf ppf "queue-full depth=%d cap=%d" depth cap
+let pp_error ppf = function
+  | Queue_full { depth; cap } ->
+    Format.fprintf ppf "queue-full depth=%d cap=%d" depth cap
+  | Backpressure { depth; fill; threshold } ->
+    Format.fprintf ppf "backpressure depth=%d fill=%.2f threshold=%.2f" depth
+      fill threshold
 
 type config = {
   max_batch : int;
   queue_cap : int;
   backpressure_fill : float;
+  admission_retries : int;
   on_force : (int -> unit) option;
   on_ack : (client:int -> op:Concurrent.op -> unit) option;
   on_reject : (client:int -> error -> unit) option;
@@ -45,7 +55,8 @@ let default_config =
   {
     max_batch = 64;
     queue_cap = 256;
-    backpressure_fill = 0.75;
+    backpressure_fill = 1.0;
+    admission_retries = 8;
     on_force = None;
     on_ack = None;
     on_reject = None;
@@ -64,7 +75,10 @@ type session = {
   mutable ops : int;
   mutable mutations : int;
   mutable rejected : int;
+  mutable retries : int;  (* consecutive rejects of the step at head *)
+  mutable dropped : int;
   mutable errors : int;
+  mutable aborted : string option;  (* non-Fs_error exception text *)
   mutable wait_total_us : int;
   mutable wait_max_us : int;
 }
@@ -77,6 +91,7 @@ type t = {
   mutable cursor : int;  (* round-robin scan start *)
   mutable last_durable : int;
   mutable forces : int;  (* server-initiated (time/size/explicit) *)
+  mutable acked_rev : (int * Concurrent.op) list;  (* ack journal, newest first *)
   commit_wait_us : Stats.t;
   batch_size : Stats.t;
 }
@@ -86,7 +101,9 @@ type session_report = {
   r_ops : int;
   r_mutations : int;
   r_rejected : int;
+  r_dropped : int;
   r_errors : int;
+  r_aborted : string option;
   r_wait_total_us : int;
   r_wait_max_us : int;
 }
@@ -100,7 +117,9 @@ type report = {
   log_forces : int;
   ops_per_force : float;
   total_rejected : int;
+  total_dropped : int;
   total_errors : int;
+  total_aborted : int;
   wait_n : int;
   wait_mean_us : float;
   wait_p50_us : float;
@@ -149,6 +168,7 @@ let poll_wakes t =
           s.mutations <- s.mutations + 1;
           Trace.emit (Fsd.trace t.fsd) ~at
             (Trace.Session_wait { client = s.client; us = wait });
+          t.acked_rev <- (s.client, op) :: t.acked_rev;
           (match t.cfg.on_ack with
           | Some f -> f ~client:s.client ~op
           | None -> ());
@@ -188,59 +208,100 @@ let exec_op t (op : Concurrent.op) =
   | List prefix -> ignore (Fsd.list t.fsd ~prefix : Cedar_fsbase.Fs_ops.info list)
   | Force -> force_now t
 
+(* The depth cap must hold unconditionally: the parked queue is the
+   server's only bounded resource, and tying it to log fill (as an
+   earlier revision did) let it grow without limit whenever the log
+   third happened to be fresh. Backpressure from log fill is a second,
+   independent trigger with its own typed error. *)
 let admission_reject t (s : session) (op : Concurrent.op) =
   if not (Concurrent.mutates op) then None
   else begin
     let depth = parked_count t in
-    if depth >= t.cfg.queue_cap && Fsd.log_third_fill t.fsd >= t.cfg.backpressure_fill
-    then begin
-      let e = Queue_full { depth; cap = t.cfg.queue_cap } in
+    let reject e =
       s.rejected <- s.rejected + 1;
       (match t.cfg.on_reject with Some f -> f ~client:s.client e | None -> ());
       Some e
-    end
-    else None
+    in
+    if depth >= t.cfg.queue_cap then
+      reject (Queue_full { depth; cap = t.cfg.queue_cap })
+    else
+      let fill = Fsd.log_third_fill t.fsd in
+      if fill >= t.cfg.backpressure_fill then
+        reject
+          (Backpressure { depth; fill; threshold = t.cfg.backpressure_fill })
+      else None
   end
 
+(* Admission has already passed when this runs. [Fs_error] is a client
+   error (bad name, missing file): count it and move on. A planted
+   device crash is the simulated machine halt and must propagate to the
+   harness. Anything else is a server-side bug; it must not wedge the
+   round-robin scheduler mid-span, so the session is terminated with the
+   exception recorded as a typed abort. *)
 let run_op t s op =
-  match admission_reject t s op with
-  | Some _ -> () (* typed reject delivered through [on_reject]; never blocks *)
-  | None ->
-    s.ops <- s.ops + 1;
-    let tr = Fsd.trace t.fsd in
-    let span =
-      Trace.begin_span tr ~at:(now t) ~op:(session_op_label s)
-        ~name:(Concurrent.op_name op)
-    in
-    let token =
-      Fun.protect
-        ~finally:(fun () -> Trace.end_span tr ~at:(now t) span)
-        (fun () ->
-          match Fsd.submit t.fsd (fun () -> exec_op t op) with
-          | (), tok -> tok
-          | exception Cedar_fsbase.Fs_error.Fs_error _ ->
-            s.errors <- s.errors + 1;
-            Fsd.always_durable)
-    in
-    if token = Fsd.always_durable then ()
-    else if Fsd.token_durable t.fsd token then
-      (* A mid-op force (the bulk-trigger backstop) already covered the
-         mutation: acknowledge with zero commit wait, no park. *)
-      begin
-        s.mutations <- s.mutations + 1;
-        Stats.add t.commit_wait_us 0.;
-        match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ()
-      end
-    else s.state <- Parked { token; since = now t; op }
+  s.ops <- s.ops + 1;
+  let tr = Fsd.trace t.fsd in
+  let span =
+    Trace.begin_span tr ~at:(now t) ~op:(session_op_label s)
+      ~name:(Concurrent.op_name op)
+  in
+  let token =
+    Fun.protect
+      ~finally:(fun () -> Trace.end_span tr ~at:(now t) span)
+      (fun () ->
+        match Fsd.submit t.fsd (fun () -> exec_op t op) with
+        | (), tok -> tok
+        | exception Cedar_fsbase.Fs_error.Fs_error _ ->
+          s.errors <- s.errors + 1;
+          Fsd.always_durable
+        | exception (Cedar_disk.Device.Crash_during_write _ as e) -> raise e
+        | exception e ->
+          s.aborted <-
+            Some
+              (Printf.sprintf "%s: %s" (Concurrent.op_name op)
+                 (Printexc.to_string e));
+          s.steps <- [];
+          s.state <- Done;
+          Fsd.always_durable)
+  in
+  if s.state = Done then ()
+  else if token = Fsd.always_durable then ()
+  else if Fsd.token_durable t.fsd token then
+    (* A mid-op force (the bulk-trigger backstop) already covered the
+       mutation: acknowledge with zero commit wait, no park. *)
+    begin
+      s.mutations <- s.mutations + 1;
+      Stats.add t.commit_wait_us 0.;
+      t.acked_rev <- (s.client, op) :: t.acked_rev;
+      match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ()
+    end
+  else s.state <- Parked { token; since = now t; op }
 
 let step t s =
   match s.steps with
   | [] -> s.state <- Done
-  | step :: rest ->
-    s.steps <- rest;
-    (match step with
-    | Concurrent.Think us -> s.state <- Thinking { until = now t + us }
-    | Concurrent.Op op -> run_op t s op)
+  | step :: rest -> (
+    match step with
+    | Concurrent.Think us ->
+      s.steps <- rest;
+      s.state <- Thinking { until = now t + us }
+    | Concurrent.Op op -> (
+      match admission_reject t s op with
+      | Some _ when s.retries < t.cfg.admission_retries ->
+        (* Leave the step at the head of the script and retry once the
+           next commit opportunity has had a chance to drain the queue —
+           a reject must never silently drop the mutation. *)
+        s.retries <- s.retries + 1;
+        s.state <- Thinking { until = max (now t + 1) (Fsd.commit_due_at t.fsd) }
+      | Some _ ->
+        (* Retries exhausted: give up on this step, but account for it. *)
+        s.retries <- 0;
+        s.dropped <- s.dropped + 1;
+        s.steps <- rest
+      | None ->
+        s.retries <- 0;
+        s.steps <- rest;
+        run_op t s op))
 
 (* ------------------------------------------------------------------ *)
 (* The scheduler. *)
@@ -309,7 +370,10 @@ let create ?(config = default_config) fsd scripts =
           ops = 0;
           mutations = 0;
           rejected = 0;
+          retries = 0;
+          dropped = 0;
           errors = 0;
+          aborted = None;
           wait_total_us = 0;
           wait_max_us = 0;
         })
@@ -325,6 +389,7 @@ let create ?(config = default_config) fsd scripts =
       cursor = 0;
       last_durable = Fsd.durable_seq fsd;
       forces = 0;
+      acked_rev = [];
       commit_wait_us = Metrics.dist m "server.commit_wait_us";
       batch_size = Metrics.dist m "server.batch_size";
     }
@@ -363,7 +428,9 @@ let run t =
       (if log_forces = 0 then 0.
        else float_of_int mutations_acked /. float_of_int log_forces);
     total_rejected = total (fun s -> s.rejected);
+    total_dropped = total (fun s -> s.dropped);
     total_errors = total (fun s -> s.errors);
+    total_aborted = total (fun s -> if s.aborted = None then 0 else 1);
     wait_n = Stats.n t.commit_wait_us;
     wait_mean_us = dist_or t.commit_wait_us Stats.mean 0.;
     wait_p50_us = dist_or t.commit_wait_us (fun d -> Stats.percentile d 0.50) 0.;
@@ -381,7 +448,9 @@ let run t =
                r_ops = s.ops;
                r_mutations = s.mutations;
                r_rejected = s.rejected;
+               r_dropped = s.dropped;
                r_errors = s.errors;
+               r_aborted = s.aborted;
                r_wait_total_us = s.wait_total_us;
                r_wait_max_us = s.wait_max_us;
              })
@@ -389,6 +458,16 @@ let run t =
   }
 
 let serve ?config fsd scripts = run (create ?config fsd scripts)
+
+let acked t = List.rev t.acked_rev
+
+type outcome = Completed of report | Crashed of { sector : int }
+
+let run_to_crash t =
+  match run t with
+  | r -> Completed r
+  | exception Cedar_disk.Device.Crash_during_write { sector } ->
+    Crashed { sector }
 
 (* Deterministic rendering: field order is fixed here, sessions are in
    client order, so byte-identical reports mean identical runs. *)
@@ -400,7 +479,10 @@ let report_json r =
         ("ops", Jsonb.Int s.r_ops);
         ("mutations", Jsonb.Int s.r_mutations);
         ("rejected", Jsonb.Int s.r_rejected);
+        ("dropped", Jsonb.Int s.r_dropped);
         ("errors", Jsonb.Int s.r_errors);
+        ( "aborted",
+          match s.r_aborted with None -> Jsonb.Null | Some e -> Jsonb.Str e );
         ("wait_total_us", Jsonb.Int s.r_wait_total_us);
         ("wait_max_us", Jsonb.Int s.r_wait_max_us);
       ]
@@ -415,7 +497,9 @@ let report_json r =
       ("log_forces", Jsonb.Int r.log_forces);
       ("ops_per_force", Jsonb.Float r.ops_per_force);
       ("rejected", Jsonb.Int r.total_rejected);
+      ("dropped", Jsonb.Int r.total_dropped);
       ("errors", Jsonb.Int r.total_errors);
+      ("aborted", Jsonb.Int r.total_aborted);
       ( "commit_wait_us",
         Jsonb.Obj
           [

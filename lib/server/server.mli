@@ -10,29 +10,41 @@
 
     The batcher forces on three triggers: the half-second commit
     interval, [max_batch] parked sessions, or an explicit client
-    [Force]. Under backpressure (the current log third nearly consumed)
-    the admission queue applies its depth cap: a mutating operation
-    arriving with [queue_cap] sessions already parked is rejected with a
-    typed {!error} — never blocked.
+    [Force]. Admission control rejects — never blocks — on two distinct
+    triggers: {!Queue_full} when [queue_cap] sessions are already parked
+    (unconditional, so the parked queue stays bounded at any log fill),
+    and {!Backpressure} when the current log third is past
+    [backpressure_fill]. A rejected step stays at the head of its script
+    and is retried after the next commit opportunity, up to
+    [admission_retries] times; only then is it dropped, and the drop is
+    counted in the report.
 
     Determinism contract: given the same volume image, scripts and
     configuration, two runs produce byte-identical {!report_json} output
     (sessions are stepped round-robin by index; the only clock is the
     simulated one; scripts carry their own seeds). *)
 
-type error = Queue_full of { depth : int; cap : int }
-(** Admission rejected a mutating operation: [depth] sessions were
-    parked against a cap of [cap] while the log third was past the
-    backpressure threshold. *)
+type error =
+  | Queue_full of { depth : int; cap : int }
+      (** [depth] sessions were parked against a cap of [cap] — the
+          unconditional admission depth cap *)
+  | Backpressure of { depth : int; fill : float; threshold : float }
+      (** the current log third is [fill] consumed, past the configured
+          [threshold] *)
+(** Why admission rejected a mutating operation. *)
 
 val pp_error : Format.formatter -> error -> unit
 
 type config = {
   max_batch : int;  (** parked sessions that trigger an early force *)
-  queue_cap : int;  (** admission depth cap applied under backpressure *)
+  queue_cap : int;  (** unconditional admission depth cap *)
   backpressure_fill : float;
-      (** {!Cedar_fsd.Fsd.log_third_fill} fraction above which the cap
-          applies; 0.0 makes it unconditional, 1.0 disables it *)
+      (** {!Cedar_fsd.Fsd.log_third_fill} fraction at which mutating
+          admissions are rejected with {!Backpressure}; 0.0 rejects
+          every mutation, 1.0 disables the trigger *)
+  admission_retries : int;
+      (** rejected steps are retried this many times (after the next
+          commit opportunity each time) before being dropped *)
   on_force : (int -> unit) option;
       (** called with the force ordinal (1-based) just before each
           server-initiated force — the crash-injection hook *)
@@ -43,8 +55,8 @@ type config = {
 }
 
 val default_config : config
-(** [max_batch = 64], [queue_cap = 256], [backpressure_fill = 0.75],
-    no hooks. *)
+(** [max_batch = 64], [queue_cap = 256], [backpressure_fill = 1.0]
+    (fill trigger off), [admission_retries = 8], no hooks. *)
 
 type t
 
@@ -52,8 +64,11 @@ type session_report = {
   r_client : int;
   r_ops : int;  (** operations executed (rejected ones excluded) *)
   r_mutations : int;  (** mutating operations acknowledged durable *)
-  r_rejected : int;
+  r_rejected : int;  (** admission rejects, including retried ones *)
+  r_dropped : int;  (** steps abandoned after [admission_retries] rejects *)
   r_errors : int;  (** operations that raised [Fs_error] *)
+  r_aborted : string option;
+      (** set when a non-[Fs_error] exception terminated the session *)
   r_wait_total_us : int;
   r_wait_max_us : int;
 }
@@ -67,7 +82,9 @@ type report = {
   log_forces : int;  (** all log forces, including mid-op backstops *)
   ops_per_force : float;  (** mutations acked per log force *)
   total_rejected : int;
+  total_dropped : int;
   total_errors : int;
+  total_aborted : int;  (** sessions terminated by a non-[Fs_error] *)
   wait_n : int;
   wait_mean_us : float;
   wait_p50_us : float;
@@ -99,6 +116,22 @@ val serve :
   Cedar_workload.Concurrent.script array ->
   report
 (** [create] + [run]. *)
+
+val acked : t -> (int * Cedar_workload.Concurrent.op) list
+(** The ack journal: every [(client, op)] acknowledged durable so far,
+    in acknowledgement order. This is the crash sweep's ground truth —
+    after a planted crash, everything in this list must be recoverable
+    and correct. *)
+
+type outcome =
+  | Completed of report
+  | Crashed of { sector : int }  (** the planted device fault fired *)
+
+val run_to_crash : t -> outcome
+(** {!run}, but a [Cedar_disk.Device.Crash_during_write] is caught and
+    returned as [Crashed] — the restartable entry point for the crash
+    sweep. The server object must be discarded after a crash; inspect
+    {!acked} and reboot the volume. *)
 
 val report_json : report -> Cedar_obs.Jsonb.t
 (** Deterministic rendering (fixed field order, sessions in client

@@ -122,6 +122,49 @@ let makedo_scripts spec ~clients =
   Array.init clients (fun client -> makedo_client spec ~client)
 
 (* ------------------------------------------------------------------ *)
+(* The crash-sweep reference script.
+
+   Hand-written rather than generated so the acked/unacked oracle stays
+   unambiguous: every created name is unique, deletes only target names
+   created earlier in the same session (a closed-loop session only
+   reaches the delete after the create was acknowledged durable), and
+   explicit [Force] steps plus think time spreading past several commit
+   intervals give the sweep a mix of timed and explicit force ordinals
+   to crash inside. Names live under "c<NN>/ref/" so clients are
+   independent and per-client recovered state can be checked against a
+   per-client prefix of its mutating ops. *)
+
+let crash_reference_client ~client =
+  let name i = Printf.sprintf "%s/ref/f%d" (client_dir client) i in
+  let fill i = (client * 16) + i in
+  [
+    Op (Create { name = name 0; bytes = 700; fill = fill 0 });
+    Think 120_000;
+    Op (Create { name = name 1; bytes = 1_400; fill = fill 1 });
+    Think 200_000;
+    Op (Open (name 0));
+    Op (Create { name = name 2; bytes = 900; fill = fill 2 });
+    Op Force;
+    Think 250_000;
+    Op (Read (name 1));
+    Op (Delete (name 0));
+    Think 300_000;
+    Op (Create { name = name 3; bytes = 2_100; fill = fill 3 });
+    Think 400_000;
+    Op (Read_page { name = name 2; page = 0 });
+    Op (Create { name = name 4; bytes = 600; fill = fill 4 });
+    Op Force;
+    Think 350_000;
+    Op (Delete (name 2));
+    Op (Create { name = name 5; bytes = 1_100; fill = fill 5 });
+    Think 300_000;
+    Op (List (client_dir client ^ "/ref/"));
+  ]
+
+let crash_reference ~clients =
+  Array.init clients (fun client -> crash_reference_client ~client)
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial shapes for fairness and backpressure tests. *)
 
 let bulk_writer ~client ~files ~bytes ~think_us ~seed =

@@ -48,6 +48,16 @@ val makedo_client : spec -> client:int -> script
 
 val makedo_scripts : spec -> clients:int -> script array
 
+(** {1 The crash-sweep reference script} *)
+
+val crash_reference : clients:int -> script array
+(** The deterministic script the crash-injection sweep replays: per
+    client, six uniquely-named creates, two deletes of names created
+    earlier in the same session, reads in between, and a mix of explicit
+    [Force] steps and think time long enough that timed commits fire
+    too. Unique names and session-ordered deletes keep the post-crash
+    acked/unacked oracle unambiguous. *)
+
 (** {1 Adversarial shapes (fairness and backpressure tests)} *)
 
 val bulk_writer :

@@ -187,6 +187,110 @@ let test_torn_checkpoint_falls_back () =
   check int "next generation skips the torn one" 4 (Int64.to_int next_gen);
   check int "next slot is the torn slot" 0 next_slot
 
+(* Satellite sweep (ISSUE 5): tear the checkpoint slot write at EVERY
+   sector offset, in every tear mode (prefix-only, zeroed, garbage,
+   damaged-unreadable). Whatever is left behind, the region must decode
+   to a valid generation — the freshly torn one if its meaningful bytes
+   all landed, else the older slot's — probe must never reuse a torn
+   generation's slot for the good checkpoint, and boot must come back
+   clean without so much as a scavenge. *)
+let test_torn_checkpoint_every_offset_and_mode () =
+  let tears =
+    [
+      ("none", Device.Tear_none);
+      ("zero", Device.Tear_zero);
+      ("garbage", Device.Tear_garbage);
+      ("damage", Device.Tear_damage 1);
+    ]
+  in
+  let slot_sectors =
+    (Layout.compute Geometry.small_test (Params.for_geometry Geometry.small_test))
+      .Layout.blackbox_slot_sectors
+  in
+  List.iter
+    (fun (tname, tear) ->
+      for offset = 0 to slot_sectors - 1 do
+        let ctx = Printf.sprintf "tear=%s offset=%d" tname offset in
+        let device = fresh_volume () in
+        Obs.Trace.enable (Device.trace device);
+        let fs = fst (Fsd.boot device) in
+        let ops = Fsd.ops fs in
+        let layout = Fsd.layout fs in
+        let create i =
+          ignore
+            (ops.Fs_ops.create
+               ~name:(Printf.sprintf "torn/f%02d" i)
+               ~data:(Bytes.make 700 'x')
+              : Fs_ops.info)
+        in
+        (* Gen 1 into slot 0, gen 2 into slot 1; then tear gen 3's write
+           (back into slot 0) at [offset] sectors. *)
+        create 0;
+        ops.Fs_ops.force ();
+        create 1;
+        ops.Fs_ops.force ();
+        let in_blackbox sector =
+          sector >= layout.Layout.blackbox_start
+          && sector < layout.Layout.blackbox_start + layout.Layout.blackbox_sectors
+        in
+        Device.set_observer device
+          (Some
+             (fun ~rw ~sector ~count:_ ->
+               if rw = `W && in_blackbox sector then
+                 Device.plan_write_crash_tear device ~after_sectors:offset ~tear));
+        create 2;
+        (match ops.Fs_ops.force () with
+        | () -> Alcotest.failf "%s: armed crash never fired" ctx
+        | exception Device.Crash_during_write _ -> ());
+        Device.set_observer device None;
+        Device.cancel_write_crash device;
+        (* Decode: the region always yields a checkpoint. A tear past the
+           meaningful bytes leaves gen 3 whole (padding only was lost);
+           any earlier tear fails a CRC (or reads as damage) and falls
+           back to gen 2 in slot 1. *)
+        let decoded =
+          match Blackbox.read device layout with
+          | Error m -> Alcotest.failf "%s: no valid checkpoint left: %s" ctx m
+          | Ok cp ->
+            let g = Int64.to_int cp.Blackbox.state.Blackbox.gen in
+            check bool (ctx ^ ": decodes to gen 2 or 3") true (g = 2 || g = 3);
+            if g = 2 then
+              check int (ctx ^ ": fallback comes from the untorn slot") 1
+                cp.Blackbox.slot;
+            (g, cp.Blackbox.slot)
+        in
+        (* Probe never hands out a generation that may already be on disk
+           (a torn gen-3 header still burns gen 3; one that never landed
+           may be reissued), and never aims the next write at the good
+           slot. *)
+        let next_gen, next_slot = Blackbox.probe device layout in
+        check bool (ctx ^ ": next gen is fresh") true
+          (Int64.to_int next_gen > fst decoded);
+        check bool (ctx ^ ": next slot is not the good one") true
+          (next_slot <> snd decoded);
+        (* Boot never aborts on a torn (even unreadable) black box. *)
+        (match Fsd.try_boot device with
+        | `Needs_scavenge reason ->
+          Alcotest.failf "%s: boot fell to scavenge: %s" ctx reason
+        | `Ok (fs2, _) ->
+          check bool (ctx ^ ": committed file survives") true
+            (Fsd.exists fs2 ~name:"torn/f00");
+          check bool (ctx ^ ": second committed file survives") true
+            (Fsd.exists fs2 ~name:"torn/f01");
+          (* The next checkpoint lands in the torn slot and decodes,
+             repairing even a damaged sector by overwriting it. *)
+          ignore
+            ((Fsd.ops fs2).Fs_ops.create ~name:"torn/post" ~data:(Bytes.make 640 'y')
+              : Fs_ops.info);
+          (Fsd.ops fs2).Fs_ops.force ();
+          (match Blackbox.read device layout with
+          | Error m -> Alcotest.failf "%s: post-boot checkpoint unreadable: %s" ctx m
+          | Ok cp ->
+            check bool (ctx ^ ": post-boot generation advanced") true
+              (cp.Blackbox.state.Blackbox.gen >= next_gen)))
+      done)
+    tears
+
 (* ------------------------------------------------------------------ *)
 (* Profiler                                                             *)
 
@@ -380,6 +484,8 @@ let suite =
       test_crash_names_in_flight_op;
     Alcotest.test_case "torn checkpoint falls back a generation" `Quick
       test_torn_checkpoint_falls_back;
+    Alcotest.test_case "torn checkpoint sweep: every offset, every tear mode"
+      `Quick test_torn_checkpoint_every_offset_and_mode;
     Alcotest.test_case "profiler matches hand-computed workload" `Quick
       test_profile_hand_check;
     Alcotest.test_case "chrome export is balanced" `Quick test_chrome_export;

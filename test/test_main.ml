@@ -15,6 +15,7 @@ let () =
       ("fsd-vamlog", Test_fsd_vamlog.suite);
       ("blackbox", Test_blackbox.suite);
       ("fault-sweep", Test_fault_sweep.suite);
+      ("faultsweep-server", Test_faultsweep.suite);
       ("scavenge", Test_scavenge.suite);
       ("properties", Test_props.suite);
       ("negative", Test_negative.suite);

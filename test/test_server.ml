@@ -128,18 +128,19 @@ let test_fairness_no_starvation () =
     (r.S.wait_p99_us < float_of_int (3 * interval))
 
 (* ------------------------------------------------------------------ *)
-(* Backpressure: typed reject, never a block                            *)
+(* Admission control: typed rejects, never a block, never a lost op     *)
 
-let test_backpressure_rejects () =
+(* Regression (ISSUE 5): the depth cap used to be gated on log fill, so
+   with a near-empty log the parked queue could grow past [queue_cap].
+   The cap must hold unconditionally, and a rejected step must be
+   retried rather than silently dropped. *)
+let test_queue_cap_unconditional () =
   let _, fs = fresh_fs () in
-  (* backpressure_fill = 0 arms the cap unconditionally; cap 2 parked.
-     Four zero-think writers: two park, the others get typed rejects. *)
   let rejects = ref [] in
   let config =
     {
       S.default_config with
       S.queue_cap = 2;
-      backpressure_fill = 0.0;
       max_batch = 1000;
       on_reject =
         Some
@@ -147,7 +148,9 @@ let test_backpressure_rejects () =
             (match e with
             | S.Queue_full { depth; cap } ->
               check int "cap reported" 2 cap;
-              check bool "depth at or over cap" true (depth >= cap));
+              check bool "depth at or over cap" true (depth >= cap)
+            | S.Backpressure _ ->
+              Alcotest.fail "fill trigger is disabled at threshold 1.0");
             rejects := client :: !rejects);
     }
   in
@@ -156,27 +159,44 @@ let test_backpressure_rejects () =
         create_script ~client ~creates:4 ~bytes:600 ~think:0)
   in
   let r = S.serve ~config fs scripts in
-  check bool "some ops rejected" true (r.S.total_rejected > 0);
+  check bool "cap rejected some admissions despite empty log" true
+    (r.S.total_rejected > 0);
   check int "hook saw every reject" r.S.total_rejected (List.length !rejects);
   check int "rejects are not errors" 0 r.S.total_errors;
-  (* Never blocks: the run completed, and everything admitted was acked. *)
-  check int "admitted mutations all acked" r.S.mutations_acked
-    (16 - r.S.total_rejected)
+  (* Never lost: every mutation is eventually acked or counted dropped. *)
+  check int "acked + dropped covers every mutation" 16
+    (r.S.mutations_acked + r.S.total_dropped);
+  check int "retries eventually drained the queue" 0 r.S.total_dropped
 
-let test_no_backpressure_when_log_empty () =
+(* Regression (ISSUE 5): log-fill backpressure is a distinct trigger
+   with its own typed error, and exhausting the bounded retries turns
+   into an accounted drop — not a silent loss. *)
+let test_backpressure_typed_reject () =
   let _, fs = fresh_fs () in
-  (* Same depth cap but the fill threshold at 1.0: a near-empty log
-     never triggers admission control. *)
+  let saw = ref 0 in
   let config =
-    { S.default_config with S.queue_cap = 2; backpressure_fill = 1.0 }
+    {
+      S.default_config with
+      S.backpressure_fill = 0.0;
+      admission_retries = 2;
+      on_reject =
+        Some
+          (fun ~client:_ e ->
+            match e with
+            | S.Backpressure { depth; threshold; _ } ->
+              check int "queue empty at reject time" 0 depth;
+              check bool "threshold echoed" true (threshold = 0.0);
+              incr saw
+            | S.Queue_full _ ->
+              Alcotest.fail "queue is nowhere near its cap");
+    }
   in
-  let scripts =
-    Array.init 4 (fun client ->
-        create_script ~client ~creates:4 ~bytes:600 ~think:0)
-  in
+  let scripts = [| create_script ~client:0 ~creates:2 ~bytes:600 ~think:0 |] in
   let r = S.serve ~config fs scripts in
-  check int "nothing rejected" 0 r.S.total_rejected;
-  check int "all acked" 16 r.S.mutations_acked
+  check int "arrival + 2 retries rejected per step" 6 r.S.total_rejected;
+  check int "hook saw every reject" 6 !saw;
+  check int "exhausted retries counted as drops" 2 r.S.total_dropped;
+  check int "nothing acked" 0 r.S.mutations_acked
 
 (* ------------------------------------------------------------------ *)
 (* Crash atomicity: acked present, unacked absent                       *)
@@ -334,10 +354,10 @@ let suite =
       test_all_mutations_acked;
     Alcotest.test_case "bulk writer does not starve small sessions" `Quick
       test_fairness_no_starvation;
-    Alcotest.test_case "backpressure rejects with a typed error" `Quick
-      test_backpressure_rejects;
-    Alcotest.test_case "no backpressure while the log third is empty" `Quick
-      test_no_backpressure_when_log_empty;
+    Alcotest.test_case "depth cap holds even with an empty log" `Quick
+      test_queue_cap_unconditional;
+    Alcotest.test_case "fill backpressure is a distinct typed reject" `Quick
+      test_backpressure_typed_reject;
     Alcotest.test_case "crash keeps acked, drops unacked" `Quick
       test_crash_atomicity;
     Alcotest.test_case "Demons.run_due matches Fsd.tick" `Quick
