@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench serve-smoke faultsweep-smoke fmt fmt-check ci clean
+.PHONY: all check build test bench serve-smoke faultsweep-smoke wrap-smoke recovery-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -14,14 +14,17 @@ test:
 check: build test
 
 # Reproduce every paper table and regenerate the committed snapshots
-# (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json) so
-# reviewers can diff observability, group-commit-scaling, and
-# crash-sweep output.
+# (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json,
+# BENCH_RECOVERY.json, BENCH_WRAP.json) so reviewers can diff
+# observability, group-commit-scaling, crash-sweep, restart-time, and
+# log-wrap-endurance output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
 	dune exec bench/main.exe -- clients --out BENCH_GROUPCOMMIT.json
 	dune exec bench/main.exe -- faultsweep --out BENCH_FAULTSWEEP.json
+	dune exec bench/main.exe -- recovery --out BENCH_RECOVERY.json
+	dune exec bench/main.exe -- wrap --out BENCH_WRAP.json
 
 # Determinism smoke: two same-seed 2-client server runs must produce
 # byte-identical JSON reports (the server's core contract).
@@ -46,6 +49,28 @@ faultsweep-smoke:
 		--tear all > /dev/null
 	@echo "faultsweep-smoke: zero violations"
 
+# Log-wrap smoke: a bounded churn run that wraps the log at least once,
+# twice with the same seed. cedar churn exits non-zero on any oracle
+# violation, a non-zero replay after the clean shutdown, or too few
+# wraps, and the two JSON summaries must be byte-identical.
+wrap-smoke:
+	dune build bin/cedar.exe
+	rm -rf _build/wrap-smoke && mkdir -p _build/wrap-smoke
+	./_build/default/bin/cedar.exe churn --tiny --ops 60 --min-wraps 1 \
+		--json > _build/wrap-smoke/run1.json
+	./_build/default/bin/cedar.exe churn --tiny --ops 60 --min-wraps 1 \
+		--json > _build/wrap-smoke/run2.json
+	cmp _build/wrap-smoke/run1.json _build/wrap-smoke/run2.json
+	@echo "wrap-smoke: wrapped, clean, deterministic"
+
+# Restart smoke: the recovery bench hard-fails (exit 1) if a crash
+# reboot replays the wrong record count or reads any log body sector
+# more than once — its internal assertions ARE the check.
+recovery-smoke:
+	dune exec bench/main.exe -- recovery --out _build/BENCH_RECOVERY.smoke.json \
+		> /dev/null
+	@echo "recovery-smoke: single-pass replay holds"
+
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
 	-dune fmt
@@ -57,7 +82,7 @@ fmt-check:
 		echo "fmt-check: ocamlformat not installed, skipping"; \
 	fi
 
-ci: fmt-check check serve-smoke faultsweep-smoke
+ci: fmt-check check serve-smoke faultsweep-smoke wrap-smoke recovery-smoke
 
 clean:
 	dune clean

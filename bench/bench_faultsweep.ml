@@ -20,7 +20,13 @@ let rows () =
     List.map
       (fun tear ->
         let cfg =
-          { F.clients = 2; tears = [ tear ]; max_forces = None; scavenge = false }
+          {
+            F.clients = 2;
+            tears = [ tear ];
+            max_forces = None;
+            scavenge = false;
+            workload = F.Reference;
+          }
         in
         { label = F.tear_name tear; cfg; s = F.sweep cfg })
       F.all_tears
@@ -31,6 +37,7 @@ let rows () =
       tears = [ Cedar_disk.Device.Tear_none ];
       max_forces = None;
       scavenge = true;
+      workload = F.Reference;
     }
   in
   tear_rows @ [ { label = "scavenge"; cfg = scav_cfg; s = F.sweep scav_cfg } ]

@@ -1,0 +1,124 @@
+(* Log-wrap endurance and the wrap-window crash sweep (bench wrap).
+
+   Two halves, both deterministic and emitted to BENCH_WRAP.json:
+
+   - endurance rows: the churn workload through the concurrent server
+     on the small and tiny geometries, self-verified against the
+     version-aware oracle, with wrap counts, background home-write
+     bursts, reclaim stalls, and the zero-replay clean reboot;
+   - sweep rows: the wrap-mode crash sweep (crashes planted only inside
+     the wrap window — third entries and their neighbours) once per
+     tear mode on the tiny geometry, which must report zero
+     recovery-contract violations.
+
+   The violation counters in the JSON are the regression surface: any
+   non-zero value is a recovery bug, and the harness warns loudly. *)
+
+open Cedar_disk
+module E = Cedar_server.Endurance
+module F = Cedar_server.Faultsweep
+module J = Cedar_obs.Jsonb
+
+let endurance_rows () =
+  List.map
+    (fun (label, geom) ->
+      (label, E.run ~geom E.default_cfg))
+    [ ("small_test", Geometry.small_test); ("tiny_test", Geometry.tiny_test) ]
+
+let sweep_rows () =
+  List.map
+    (fun tear ->
+      let cfg =
+        {
+          F.default_cfg with
+          F.tears = [ tear ];
+          workload = F.Wrap F.default_wrap_spec;
+        }
+      in
+      (F.tear_name tear, F.sweep cfg))
+    F.all_tears
+
+let endurance_json (label, r) =
+  J.Obj
+    [
+      ("geometry", J.Str label);
+      ("mutations_acked", J.Int r.E.e_report.Cedar_server.Server.mutations_acked);
+      ("log_records", J.Int r.E.e_log_records);
+      ("third_entries", J.Int r.E.e_third_entries);
+      ("home_write_bursts", J.Int r.E.e_home_write_bursts);
+      ("reclaim_stalls", J.Int r.E.e_reclaim_stalls);
+      ("fnt_home_writes", J.Int r.E.e_fnt_home_writes);
+      ("replayed_after_shutdown", J.Int r.E.e_replayed_after_shutdown);
+      ("digest_match", J.Bool r.E.e_digest_match);
+      ( "violations",
+        J.Int
+          (List.length r.E.e_violations
+          + List.length r.E.e_violations_after_reboot) );
+    ]
+
+let sweep_json (label, s) =
+  J.Obj
+    [
+      ("tear", J.Str label);
+      ("intervals_swept", J.Int (List.length s.F.sw_intervals));
+      ("points", J.Int s.F.sw_points);
+      ("runs", J.Int s.F.sw_runs);
+      ("recovered_by_replay", J.Int s.F.sw_replay);
+      ("recovered_by_twin_repair", J.Int s.F.sw_twin_repair);
+      ("recovered_by_scavenge", J.Int s.F.sw_scavenged);
+      ("violations", J.Int (List.length s.F.sw_violations));
+    ]
+
+let default_out = "BENCH_WRAP.json"
+
+let run ?out () =
+  let out = match out with Some p -> p | None -> default_out in
+  Setup.hr "log-wrap endurance + wrap-window crash sweep (cedar churn / faultsweep --wrap)";
+  let es = endurance_rows () in
+  Printf.printf "  %-10s %6s %7s %7s %7s %7s %7s %6s\n" "geometry" "acked"
+    "records" "thirds" "bursts" "stalls" "replay" "clean";
+  List.iter
+    (fun (label, r) ->
+      Printf.printf "  %-10s %6d %7d %7d %7d %7d %7d %6s\n" label
+        r.E.e_report.Cedar_server.Server.mutations_acked r.E.e_log_records
+        r.E.e_third_entries r.E.e_home_write_bursts r.E.e_reclaim_stalls
+        r.E.e_replayed_after_shutdown
+        (if E.clean r then "yes" else "NO"))
+    es;
+  let ss = sweep_rows () in
+  Printf.printf "  %-9s %9s %7s %6s %7s %12s %10s\n" "tear" "intervals"
+    "points" "runs" "replay" "twin-repair" "violations";
+  List.iter
+    (fun (label, s) ->
+      Printf.printf "  %-9s %9d %7d %6d %7d %12d %10d\n" label
+        (List.length s.F.sw_intervals)
+        s.F.sw_points s.F.sw_runs s.F.sw_replay s.F.sw_twin_repair
+        (List.length s.F.sw_violations))
+    ss;
+  let violations =
+    List.fold_left (fun n (_, s) -> n + List.length s.F.sw_violations) 0 ss
+    + List.fold_left
+        (fun n (_, r) ->
+          n
+          + List.length r.E.e_violations
+          + List.length r.E.e_violations_after_reboot
+          + (if r.E.e_digest_match then 0 else 1)
+          + if r.E.e_replayed_after_shutdown = 0 then 0 else 1)
+        0 es
+  in
+  if violations > 0 then
+    Printf.printf "  WARNING: %d wrap-window contract violations\n" violations;
+  let obj =
+    J.Obj
+      [
+        ("bench", J.Str "log-wrap");
+        ("violations_total", J.Int violations);
+        ("endurance", J.Arr (List.map endurance_json es));
+        ("wrap_sweep", J.Arr (List.map sweep_json ss));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string_pretty obj);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out

@@ -2,13 +2,13 @@
 
    dune exec bench/main.exe            -- reproduce every paper table
    dune exec bench/main.exe -- table2  -- one table (table1..table5,
-                                          recovery, group-commit,
+                                          recovery-model, group-commit,
                                           log-records, vam, model, log-util)
    dune exec bench/main.exe -- --micro -- Bechamel microbenchmarks too *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|all] [--micro] [--out PATH]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery-model|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|recovery|wrap|all] [--micro] [--out PATH]";
   exit 2
 
 let () =
@@ -34,7 +34,7 @@ let () =
     | "table3" -> Bench_tables.table3 ()
     | "table4" -> Bench_tables.table4 ()
     | "table5" -> Bench_tables.table5 ()
-    | "recovery" -> Bench_tables.recovery ()
+    | "recovery-model" -> Bench_tables.recovery ()
     | "group-commit" -> Bench_tables.group_commit ()
     | "log-records" -> Bench_tables.log_records ()
     | "vam" -> Bench_tables.vam_rebuild ()
@@ -46,6 +46,8 @@ let () =
     | "obs-json" -> Obs_json.run ?out ()
     | "clients" -> Bench_clients.run ?out ()
     | "faultsweep" -> Bench_faultsweep.run ?out ()
+    | "recovery" -> Bench_recovery.run ?out ()
+    | "wrap" -> Bench_wrap.run ?out ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()
   in

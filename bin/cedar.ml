@@ -16,7 +16,9 @@
      cedar trace vol.img --chrome out.json   export the span tree for Perfetto
      cedar profile vol.img [--json]      latency + group-commit profiles
      cedar serve vol.img --clients N     concurrent sessions over group commit
+     cedar churn [--ops N] [--tiny]      wrap the log under churn, self-verify
      cedar faultsweep [--tear MODE]      crash the server at every sector write
+     cedar faultsweep --wrap             crash inside the log's wrap window
      cedar blackbox vol.img [--json]     decode the on-disk flight recorder
 
    Mutating commands shut the file system down cleanly before saving the
@@ -440,6 +442,11 @@ let cmd_serve path clients script_file seed think_us rounds json =
             "group commit: %d log forces (%d server-initiated), %.1f acked \
              mutations/force\n"
             r.S.log_forces r.S.server_forces r.S.ops_per_force;
+          Printf.printf
+            "admission: %d rejects (%d queue-full, %d backpressure), %d \
+             retries, %d dropped\n"
+            r.S.total_rejected r.S.reject_queue_full r.S.reject_backpressure
+            r.S.total_retries r.S.total_dropped;
           Printf.printf "commit wait: mean %.1f ms, p50 %.1f, p99 %.1f, max %.1f (%d waits)\n"
             (r.S.wait_mean_us /. 1000.) (r.S.wait_p50_us /. 1000.)
             (r.S.wait_p99_us /. 1000.) (r.S.wait_max_us /. 1000.) r.S.wait_n;
@@ -460,7 +467,7 @@ let cmd_serve path clients script_file seed think_us rounds json =
    in-memory volumes (the deterministic 2-client reference workload is
    replayed once per crash coordinate), so there is no IMAGE argument
    and nothing on disk is touched. *)
-let cmd_faultsweep clients tear max_forces scavenge json =
+let cmd_faultsweep clients tear max_forces scavenge wrap json =
   let module F = Cedar_server.Faultsweep in
   if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
   if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
@@ -475,10 +482,43 @@ let cmd_faultsweep clients tear max_forces scavenge json =
       | Some m -> [ m ]
       | None -> fail "unknown tear mode %S (none|zero|garbage|damage|all)" t)
   in
-  let s = F.sweep { F.clients; tears; max_forces; scavenge } in
+  let workload = if wrap then F.Wrap F.default_wrap_spec else F.Reference in
+  let s = F.sweep { F.clients; tears; max_forces; scavenge; workload } in
   if json then print_endline (Obs.Jsonb.to_string_pretty (F.summary_json s))
   else Format.printf "%a@." F.pp s;
   if s.F.sw_violations <> [] then exit 1
+
+(* Log-wrap endurance on a fresh in-memory volume: churn until the log
+   has wrapped, verify against the version-aware oracle, then prove a
+   clean shutdown + reboot replays nothing and changes nothing. *)
+let cmd_churn clients ops slots seed force_every tiny min_wraps json =
+  let module E = Cedar_server.Endurance in
+  let module C = Cedar_workload.Concurrent in
+  if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
+  if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
+  if ops < 1 then fail "--ops must be at least 1 (got %d)" ops;
+  if slots < 1 then fail "--slots must be at least 1 (got %d)" slots;
+  if min_wraps < 0 then fail "--min-wraps must be non-negative (got %d)" min_wraps;
+  let spec =
+    {
+      C.default_churn with
+      C.churn_ops = ops;
+      slots;
+      churn_seed = seed;
+      force_every;
+    }
+  in
+  let geom = if tiny then Geometry.tiny_test else Geometry.small_test in
+  let r = E.run ~geom { E.clients; spec } in
+  if json then print_endline (Obs.Jsonb.to_string_pretty (E.report_json r))
+  else Format.printf "%a@." E.pp r;
+  if r.E.e_third_entries < 3 * min_wraps then begin
+    Format.eprintf "cedar: log wrapped %.1f time(s), wanted %d@."
+      (float_of_int r.E.e_third_entries /. 3.0)
+      min_wraps;
+    exit 1
+  end;
+  if not (E.clean r) then exit 1
 
 (* Decode the on-disk flight recorder WITHOUT booting: no recovery runs,
    so this is the pre-crash view — what the system believed at its last
@@ -666,6 +706,67 @@ let serve_cmd =
           same-seed runs produce byte-identical reports)")
     Term.(const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json)
 
+let churn_cmd =
+  let clients =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"number of concurrent churn sessions")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt int Cedar_workload.Concurrent.default_churn.Cedar_workload.Concurrent.churn_ops
+      & info [ "ops" ] ~docv:"N" ~doc:"churn steps per client")
+  in
+  let slots =
+    Arg.(
+      value
+      & opt int Cedar_workload.Concurrent.default_churn.Cedar_workload.Concurrent.slots
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"distinct names in each client's working set")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"workload seed")
+  in
+  let force_every =
+    Arg.(
+      value
+      & opt int
+          Cedar_workload.Concurrent.default_churn.Cedar_workload.Concurrent.force_every
+      & info [ "force-every" ] ~docv:"N"
+          ~doc:"explicit log force every $(docv) mutations (0 disables)")
+  in
+  let tiny =
+    Arg.(
+      value & flag
+      & info [ "tiny" ]
+          ~doc:
+            "run on the tiny test geometry, whose 37-sector log thirds wrap \
+             orders of magnitude faster for the same op count")
+  in
+  let min_wraps =
+    Arg.(
+      value & opt int 1
+      & info [ "min-wraps" ] ~docv:"W"
+          ~doc:"fail unless the log wrapped at least $(docv) full times")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the deterministic JSON report")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "run the log-wrap churn workload (create/overwrite/delete over a \
+          small working set) through the concurrent server on a fresh \
+          in-memory volume until the log has wrapped, check the recovered \
+          namespace against the version-aware oracle, then prove a clean \
+          shutdown + reboot replays zero records and changes nothing; exits \
+          non-zero on any violation or if the log wrapped fewer than \
+          --min-wraps times")
+    Term.(
+      const cmd_churn $ clients $ ops $ slots $ seed $ force_every $ tiny
+      $ min_wraps $ json)
+
 let faultsweep_cmd =
   let clients =
     Arg.(
@@ -695,6 +796,17 @@ let faultsweep_cmd =
             "destroy both name-table copies after every crash, forcing \
              recovery through the scavenger of last resort")
   in
+  let wrap =
+    Arg.(
+      value & flag
+      & info [ "wrap" ]
+          ~doc:
+            "replay the log-wrap churn workload on a tiny volume instead of \
+             the reference script, and sweep only the force intervals in \
+             the wrap window (third entries and their neighbours) — crashes \
+             land during home-write bursts, the reclamation pointer rewrite, \
+             and the appends on each side of the wrap")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit the deterministic JSON summary")
   in
@@ -705,9 +817,11 @@ let faultsweep_cmd =
           group-commit force interval (optionally tearing the interrupted \
           sector), reboot each time, and check the recovery contract: acked \
           mutations byte-exact, unacked wholly absent, VAM consistent with \
-          the name table, flight recorder decodable. Runs on fresh in-memory \
+          the name table, flight recorder decodable, and a clean reboot \
+          after recovery replaying nothing. Runs on fresh in-memory \
           volumes; exits non-zero on any violation")
-    Term.(const cmd_faultsweep $ clients $ tear $ max_forces $ scavenge $ json)
+    Term.(
+      const cmd_faultsweep $ clients $ tear $ max_forces $ scavenge $ wrap $ json)
 
 let blackbox_cmd =
   let json =
@@ -747,6 +861,7 @@ let () =
             trace_cmd;
             profile_cmd;
             serve_cmd;
+            churn_cmd;
             faultsweep_cmd;
             blackbox_cmd;
           ]))

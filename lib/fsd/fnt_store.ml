@@ -8,6 +8,12 @@ type cached = {
   mutable modified : bool; (* changed since last logged *)
   mutable third : int option; (* where the image was last logged *)
   mutable dirtied_at : int; (* virtual time the page last became dirty *)
+  mutable logged : bytes option;
+      (* The committed image as last logged, retained from the moment the
+         payload diverges from it. When the third holding that log copy
+         is reclaimed, this — never the uncommitted payload — is what
+         goes home; [None] while the payload itself is the logged image
+         (or nothing is logged). *)
 }
 
 type anchor = {
@@ -122,6 +128,14 @@ let write_home_image device layout ~page image =
    home-write pair, or a wild write that happens to re-frame), copy A is
    authoritative — home writes go A then B, so A is never the stale one —
    and B is rewritten from it. *)
+let note_twin_repair t page =
+  t.repairs <- t.repairs + 1;
+  let tr = Device.trace t.device in
+  if Cedar_obs.Trace.enabled tr then
+    Cedar_obs.Trace.emit tr
+      ~at:(Simclock.now (Device.clock t.device))
+      (Cedar_obs.Trace.Scrub_repair { target = "fnt-twin"; loc = page })
+
 let read_home t page =
   let n = t.layout.Layout.params.Params.fnt_page_sectors in
   let read_copy sector =
@@ -135,16 +149,16 @@ let read_home t page =
   match (a, b) with
   | Some pa, Some pb ->
     if not (Bytes.equal pa pb) then begin
-      t.repairs <- t.repairs + 1;
+      note_twin_repair t page;
       Device.write_run t.device ~sector:sb (frame t.layout ~page pa)
     end;
     pa
   | Some pa, None ->
-    t.repairs <- t.repairs + 1;
+    note_twin_repair t page;
     Device.write_run t.device ~sector:sb (frame t.layout ~page pa);
     pa
   | None, Some pb ->
-    t.repairs <- t.repairs + 1;
+    note_twin_repair t page;
     Device.write_run t.device ~sector:sa (frame t.layout ~page pb);
     pb
   | None, None ->
@@ -252,7 +266,14 @@ let read t page =
   | None ->
     let payload = read_home t page in
     insert_cache t page
-      { payload; dirty = false; modified = false; third = None; dirtied_at = 0 };
+      {
+        payload;
+        dirty = false;
+        modified = false;
+        third = None;
+        dirtied_at = 0;
+        logged = None;
+      };
     Bytes.copy payload
 
 let write t page payload =
@@ -260,6 +281,10 @@ let write t page payload =
   let now = Simclock.now (Device.clock t.device) in
   (match Lru.peek t.cache page with
   | Some c ->
+    (* First modification after a log commit: the payload about to be
+       replaced is the committed logged image. Retain it — it is what
+       must go home if its third reclaims before this change commits. *)
+    if c.dirty && (not c.modified) && c.logged = None then c.logged <- Some c.payload;
     c.payload <- Bytes.copy payload;
     c.modified <- true;
     if not c.dirty then begin
@@ -276,6 +301,7 @@ let write t page payload =
         modified = true;
         third = None;
         dirtied_at = now;
+        logged = None;
       });
   t.note_dirty page
 
@@ -344,28 +370,73 @@ let mark_logged t pages ~third =
       match Lru.peek t.cache page with
       | Some c when c.dirty ->
         c.third <- Some third;
-        c.modified <- false
+        c.modified <- false;
+        (* The payload is now itself the committed image. *)
+        c.logged <- None
       | Some _ | None -> ())
     pages
 
 let home_write t page c =
-  write_home_image t.device t.layout ~page (frame t.layout ~page c.payload);
+  (* A diverged page homes its retained committed image; the newer,
+     uncommitted payload stays dirty and pinned until its own commit. *)
+  let diverged = c.modified && c.logged <> None in
+  let image = match c.logged with Some l when c.modified -> l | _ -> c.payload in
+  write_home_image t.device t.layout ~page (frame t.layout ~page image);
   let now = Simclock.now (Device.clock t.device) in
   let tr = Device.trace t.device in
   if Cedar_obs.Trace.enabled tr then
     Cedar_obs.Trace.emit tr ~at:now (Cedar_obs.Trace.Fnt_write_twice { page });
-  Stats.add t.dirty_age (float_of_int (now - c.dirtied_at));
   t.home_writes <- t.home_writes + 1;
-  c.dirty <- false;
   c.third <- None;
-  Lru.unpin t.cache page
+  c.logged <- None;
+  if not diverged then begin
+    Stats.add t.dirty_age (float_of_int (now - c.dirtied_at));
+    c.dirty <- false;
+    c.modified <- false;
+    Lru.unpin t.cache page
+  end
+
+(* Pages that claim [third] and could not be safely homed: modified since
+   their last commit with no retained committed image. Writing their
+   payload home would make uncommitted state durable while the log copy
+   that could roll it back is destroyed — refuse instead. Unreachable
+   while the retention protocol in [write] holds. *)
+let stalled_in_third t third =
+  let n = ref 0 in
+  Lru.iter t.cache (fun _ c ->
+      if c.dirty && c.third = Some third && c.modified && c.logged = None then incr n);
+  !n
 
 let flush_third t third =
+  (match stalled_in_third t third with
+  | 0 -> ()
+  | pinned_pages ->
+    Fs_error.raise_ (Fs_error.Log_reclaim_stall { third; pinned_pages }));
   let victims = ref [] in
   Lru.iter t.cache (fun page c ->
       if c.dirty && c.third = Some third then victims := (page, c) :: !victims);
   List.iter (fun (page, c) -> home_write t page c) !victims;
   List.length !victims
+
+(* Bounded variant for the background home-write demon: flush up to
+   [budget] pages claiming [third], lowest page first, skipping (rather
+   than raising on) any stalled page — the synchronous reclaim at third
+   entry remains the correctness backstop. *)
+let flush_some_third t third ~budget =
+  let victims = ref [] in
+  Lru.iter t.cache (fun page c ->
+      if c.dirty && c.third = Some third && not (c.modified && c.logged = None) then
+        victims := (page, c) :: !victims);
+  let victims = List.sort compare !victims in
+  let n = ref 0 in
+  List.iter
+    (fun (page, c) ->
+      if !n < budget then begin
+        home_write t page c;
+        incr n
+      end)
+    victims;
+  !n
 
 let flush_all_dirty t =
   let victims = ref [] in

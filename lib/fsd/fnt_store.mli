@@ -64,7 +64,18 @@ val mark_logged : t -> int list -> third:int -> unit
 
 val flush_third : t -> int -> int
 (** Home-write every dirty page last logged in the given third; returns
-    how many pages were written. *)
+    how many pages were written. A page modified again since that commit
+    homes its retained committed image (never the uncommitted payload)
+    and stays dirty and pinned awaiting its own commit. Raises
+    [Fs_error Log_reclaim_stall] if a page claiming the third is
+    modified yet holds no committed image — reclaiming would destroy its
+    only durable copy. *)
+
+val flush_some_third : t -> int -> budget:int -> int
+(** Bounded variant for the background home-write demon: flush up to
+    [budget] pages claiming the given third, lowest page id first,
+    skipping stalled pages instead of raising. Returns how many pages
+    were written. *)
 
 val flush_all_dirty : t -> int
 (** Home-write everything dirty (clean shutdown). *)

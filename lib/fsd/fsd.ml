@@ -30,6 +30,8 @@ type counters = {
   mutable scrub_passes : int;
   mutable scrub_fnt_repairs : int;
   mutable scrub_leader_repairs : int;
+  mutable home_write_bursts : int;
+  mutable reclaim_stalls : int;
 }
 
 (* Registry-backed counter handles; registered (fresh, zeroed) on every
@@ -47,10 +49,21 @@ type meters = {
   m_scrub_leader_repairs : Metrics.counter;
   m_blackbox_checkpoints : Metrics.counter;
   m_blackbox_sectors : Metrics.counter;
+  m_home_write_bursts : Metrics.counter;
+  m_reclaim_stalls : Metrics.counter;
   m_op_us : Stats.t;  (** virtual latency per FSD operation *)
 }
 
-type pending_leader = { image : bytes; mutable logged_third : int option }
+(* A leader whose current image has not reached its home sector yet. The
+   newest image is logged at the next force while [modified]; [logged]
+   retains the last committed image together with the third holding its
+   log copy — when that third reclaims, the committed image (never an
+   uncommitted newer one) is what goes home. *)
+type pending_leader = {
+  mutable image : bytes;
+  mutable modified : bool; (* image changed since last logged *)
+  mutable logged : (int * bytes) option; (* (third, committed image) *)
+}
 
 type t = {
   device : Device.t;
@@ -96,6 +109,8 @@ let mk_meters reg =
     m_scrub_leader_repairs = Metrics.counter reg "fsd.scrub_leader_repairs";
     m_blackbox_checkpoints = Metrics.counter reg "fsd.blackbox_checkpoints";
     m_blackbox_sectors = Metrics.counter reg "fsd.blackbox_sectors";
+    m_home_write_bursts = Metrics.counter reg "fsd.home_write_bursts";
+    m_reclaim_stalls = Metrics.counter reg "fsd.reclaim_stalls";
     m_op_us = Metrics.dist reg "fsd.op_us";
   }
 
@@ -119,6 +134,8 @@ let counters t =
     scrub_passes = v t.meters.m_scrub_passes;
     scrub_fnt_repairs = v t.meters.m_scrub_fnt_repairs;
     scrub_leader_repairs = v t.meters.m_scrub_leader_repairs;
+    home_write_bursts = v t.meters.m_home_write_bursts;
+    reclaim_stalls = v t.meters.m_reclaim_stalls;
   }
 
 let counters_json t =
@@ -134,6 +151,8 @@ let counters_json t =
       ("scrub_passes", Cedar_obs.Jsonb.Int c.scrub_passes);
       ("scrub_fnt_repairs", Cedar_obs.Jsonb.Int c.scrub_fnt_repairs);
       ("scrub_leader_repairs", Cedar_obs.Jsonb.Int c.scrub_leader_repairs);
+      ("home_write_bursts", Cedar_obs.Jsonb.Int c.home_write_bursts);
+      ("reclaim_stalls", Cedar_obs.Jsonb.Int c.reclaim_stalls);
     ]
 let log_stats t = Log.stats t.log
 let fnt_home_writes t = Fnt_store.home_writes t.store
@@ -181,18 +200,39 @@ let corrupt msg = Fs_error.raise_ (Fs_error.Corrupt_metadata msg)
    logging, chunk images living in [j] are about to die too: rewrite the
    whole base, stamped with the current record number, so recovery
    ignores every older (stale) chunk image still in the log. *)
-let handle_enter_third t j =
-  ignore (Fnt_store.flush_third t.store j : int);
+let home_due_leaders t j ~budget =
   let due = ref [] in
   Hashtbl.iter
-    (fun sector pl -> if pl.logged_third = Some j then due := (sector, pl) :: !due)
+    (fun sector pl ->
+      match pl.logged with
+      | Some (j', image) when j' = j -> due := (sector, image, pl) :: !due
+      | Some _ | None -> ())
     t.pending_leaders;
+  let written = ref 0 in
   List.iter
-    (fun (sector, pl) ->
-      Device.write t.device sector pl.image;
-      Metrics.inc t.meters.m_leader_home_writes;
-      Hashtbl.remove t.pending_leaders sector)
-    !due;
+    (fun (sector, image, pl) ->
+      if !written < budget then begin
+        Device.write t.device sector image;
+        Metrics.inc t.meters.m_leader_home_writes;
+        pl.logged <- None;
+        (* A newer uncommitted image keeps the entry alive until its own
+           commit; otherwise the leader is fully home. *)
+        if not pl.modified then Hashtbl.remove t.pending_leaders sector;
+        incr written
+      end)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !due);
+  !written
+
+let handle_enter_third t j =
+  (match Fnt_store.flush_third t.store j with
+  | (_ : int) -> ()
+  | exception
+      (Fs_error.Fs_error (Fs_error.Log_reclaim_stall { third; pinned_pages }) as ex)
+    ->
+    Metrics.inc t.meters.m_reclaim_stalls;
+    emit t (Trace.Reclaim_stall { third; pinned = pinned_pages });
+    raise ex);
+  ignore (home_due_leaders t j ~budget:max_int : int);
   if t.params.Params.log_vam && Hashtbl.fold (fun _ th acc -> acc || th = j) t.chunk_thirds false
   then begin
     (* The record being appended right now (number [next_record_no]) logs
@@ -221,7 +261,9 @@ let note_logged t batch ~third =
       match u.Log.kind with
       | Log.Leader_page s -> (
         match Hashtbl.find_opt t.pending_leaders s with
-        | Some pl -> pl.logged_third <- Some third
+        | Some pl ->
+          pl.logged <- Some (third, u.Log.image);
+          pl.modified <- false
         | None -> ())
       | Log.Vam_chunk c -> Hashtbl.replace t.chunk_thirds c third
       | Log.Fnt_page _ -> ())
@@ -284,7 +326,7 @@ let do_force t =
   let pages = Fnt_store.pages_to_log t.store in
   let leaders =
     Hashtbl.fold
-      (fun sector pl acc -> if pl.logged_third = None then (sector, pl) :: acc else acc)
+      (fun sector pl acc -> if pl.modified then (sector, pl) :: acc else acc)
       t.pending_leaders []
   in
   if pages = [] && leaders = [] then begin
@@ -448,9 +490,19 @@ let leader_image_of_entry t ~name ~version (e : Entry.t) =
    whole entry for the scavenger); it is logged at the next commit and
    home-written lazily (never a synchronous I/O). *)
 let refresh_leader t ~name ~version (e : Entry.t) =
-  if e.Entry.anchor >= 0 then
-    Hashtbl.replace t.pending_leaders e.Entry.anchor
-      { image = leader_image_of_entry t ~name ~version e; logged_third = None }
+  if e.Entry.anchor >= 0 then begin
+    let image = leader_image_of_entry t ~name ~version e in
+    match Hashtbl.find_opt t.pending_leaders e.Entry.anchor with
+    | Some pl ->
+      (* Keep [pl.logged]: the previously committed image still lives in
+         the log and must go home when its third reclaims, even though a
+         newer uncommitted image now shadows it in memory. *)
+      pl.image <- image;
+      pl.modified <- true
+    | None ->
+      Hashtbl.add t.pending_leaders e.Entry.anchor
+        { image; modified = true; logged = None }
+  end
 
 let read_leader t (e : Entry.t) =
   match Hashtbl.find_opt t.pending_leaders e.Entry.anchor with
@@ -640,7 +692,8 @@ let create_common t ~name ~keep ~data_pages ~byte_size ~kind data_opt =
     Hashtbl.replace t.verified uid ()
   | None ->
     (* No data write to piggyback on: the leader goes through the log. *)
-    Hashtbl.replace t.pending_leaders anchor { image = limage; logged_third = None });
+    Hashtbl.replace t.pending_leaders anchor
+      { image = limage; modified = true; logged = None });
   enforce_keep t name version keep;
   op_done t ~pages:data_pages ();
   info_of name version entry
@@ -999,9 +1052,34 @@ let maybe_scrub t =
    scheduler (lib/server) can fire the commit and scrub demons at its own
    pace; re-exported as [Demons.run_due]. [tick] = advance + this, so
    single-threaded callers see identical behavior. *)
+(* Background home-write scheduling: once the current third is
+   [home_write_fill] full, pre-flush pages and leaders whose survival
+   horizon is the NEXT third, in bounded batches between group commits —
+   so the synchronous reclaim when the writer actually enters that third
+   ([handle_enter_third]) finds little left to do inside an op. *)
+let maybe_home_writes t =
+  let budget = t.params.Params.home_writes_per_pass in
+  if
+    budget > 0
+    && t.params.Params.home_write_fill < 1.0
+    && Log.third_fill t.log >= t.params.Params.home_write_fill
+  then begin
+    let next = (Log.current_third t.log + 1) mod 3 in
+    let pages = Fnt_store.flush_some_third t.store next ~budget in
+    let leaders =
+      if pages >= budget then 0
+      else home_due_leaders t next ~budget:(budget - pages)
+    in
+    if pages + leaders > 0 then begin
+      Metrics.inc t.meters.m_home_write_bursts;
+      emit t (Trace.Home_write_burst { third = next; pages; leaders })
+    end
+  end
+
 let run_due_demons t =
   require_live t;
   maybe_commit t;
+  maybe_home_writes t;
   maybe_scrub t
 
 let tick t ~us =
@@ -1045,10 +1123,7 @@ let durable_seq t = t.durable_seq
    batcher's backpressure signal: close to 1.0 means the next forces will
    enter a fresh third and overwrite the oldest records, forcing early
    page flushes ([handle_enter_third]). *)
-let log_third_fill t =
-  let third = (t.layout.Layout.log_sectors - 3) / 3 in
-  let off = Log.write_off t.log mod third in
-  float_of_int off /. float_of_int third
+let log_third_fill t = Log.third_fill t.log
 
 let commit_due_at t = t.last_force + t.params.Params.commit_interval_us
 
@@ -1136,32 +1211,40 @@ let boot ?params device =
   let boot_count = bp.Boot_page.boot_count + 1 in
   Boot_page.write device ~sector_bytes:geom.Geometry.sector_bytes
     { bp with Boot_page.boot_count; clean_shutdown = false };
-  (* Log replay: committed page images go home. *)
+  (* Log replay: one sequential pass over the live log region
+     (Log.replay). Records are applied in log order as they decode —
+     later images overwrite earlier ones in the staging tables, so each
+     unit is then written home exactly once — and no log sector is read
+     twice. Replay is unconditional: it is also what rolls back
+     uncommitted state a diverged page's home copy could never hold. *)
   let r0 = Simclock.now clock in
-  let rec_info = Log.recover device layout in
-  let fnt_images =
-    List.filter_map
-      (fun (kind, image, _no) ->
-        match kind with Log.Fnt_page id -> Some (id, image) | _ -> None)
-      rec_info.Log.images
+  let fnt_tbl : (int, bytes) Hashtbl.t = Hashtbl.create 64 in
+  let leader_tbl : (int, bytes) Hashtbl.t = Hashtbl.create 64 in
+  let chunk_tbl : (int, bytes * int64) Hashtbl.t = Hashtbl.create 16 in
+  let rec_info =
+    Log.replay device layout ~f:(fun ~record_no ~off:_ units ->
+        List.iter
+          (fun u ->
+            match u.Log.kind with
+            | Log.Fnt_page id -> Hashtbl.replace fnt_tbl id u.Log.image
+            | Log.Leader_page s -> Hashtbl.replace leader_tbl s u.Log.image
+            | Log.Vam_chunk c -> Hashtbl.replace chunk_tbl c (u.Log.image, record_no))
+          units)
   in
-  let leader_images =
-    List.filter_map
-      (fun (kind, image, _no) ->
-        match kind with Log.Leader_page s -> Some (s, image) | _ -> None)
-      rec_info.Log.images
+  let sorted_bindings tbl =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
   in
+  let fnt_images = sorted_bindings fnt_tbl in
+  let leader_images = sorted_bindings leader_tbl in
   let vam_chunk_images =
-    List.filter_map
-      (fun (kind, image, no) ->
-        match kind with Log.Vam_chunk c -> Some (c, image, no) | _ -> None)
-      rec_info.Log.images
+    List.map (fun (c, (image, no)) -> (c, image, no)) (sorted_bindings chunk_tbl)
   in
   List.iter
     (fun (id, image) -> Fnt_store.write_home_image device layout ~page:id image)
     fnt_images;
-  Simclock.advance clock
-    (runtime.Params.cpu_page_us * rec_info.Log.replayed_records * 4);
+  Simclock.advance clock (runtime.Params.cpu_page_us * rec_info.Log.p_records * 4);
   let log_replay_us = Simclock.now clock - r0 in
   let trace_boot ev =
     let tr = Device.trace device in
@@ -1174,9 +1257,9 @@ let boot ?params device =
     match !t_ref with Some t -> handle_enter_third t j | None -> ()
   in
   let base_no =
-    match rec_info.Log.last_record_no with
-    | Some n -> max n rec_info.Log.pointer_record_no
-    | None -> rec_info.Log.pointer_record_no
+    match rec_info.Log.p_last_record_no with
+    | Some n -> max n rec_info.Log.p_pointer_record_no
+    | None -> rec_info.Log.p_pointer_record_no
   in
   (* Attach the name table before the log: Log.attach moves the recovery
      pointer, and if the name table turns out to be beyond repair the
@@ -1186,7 +1269,7 @@ let boot ?params device =
   let log =
     Log.attach device layout ~boot_count
       ~next_record_no:(Int64.add base_no 1_000_000L)
-      ~write_off:rec_info.Log.next_write_off ~on_enter_third:on_enter
+      ~write_off:rec_info.Log.p_next_write_off ~on_enter_third:on_enter
   in
   (* VAM: with VAM logging, rebuild from the saved base plus the logged
      chunk images; otherwise trust a clean snapshot; else reconstruct
@@ -1288,11 +1371,11 @@ let boot ?params device =
   let report =
     {
       boot_count;
-      replayed_records = rec_info.Log.replayed_records;
+      replayed_records = rec_info.Log.p_records;
       replayed_pages =
         List.length fnt_images + List.length leader_images
         + List.length vam_chunk_images;
-      corrected_sectors = rec_info.Log.corrected_sectors;
+      corrected_sectors = rec_info.Log.p_corrected_sectors;
       skipped_leaders = !skipped_leaders;
       vam_source;
       log_replay_us;

@@ -46,6 +46,12 @@ type counters = {
       (** FNT home copies rewritten from their twin by the scrubber *)
   mutable scrub_leader_repairs : int;
       (** leaders rewritten from the name table by the scrubber *)
+  mutable home_write_bursts : int;
+      (** background home-write passes that wrote at least one page or
+          leader ahead of the next third entry *)
+  mutable reclaim_stalls : int;
+      (** third reclamations refused with [Log_reclaim_stall] because a
+          modified page held no committed image *)
 }
 
 (** {1 Lifecycle} *)
@@ -129,12 +135,16 @@ val tick : t -> us:int -> unit
 
 val run_due_demons : t -> unit
 (** Fire every demon whose interval has elapsed at the current virtual
-    time: the commit demon (group-commit force) and the scrub demon —
-    each scrub pass verifies a few FNT page pairs (both copies, by
-    checksum) and a few leaders, repairing lone bad copies in place
-    (counted in {!counters}). [tick us] is [advance us] plus this;
-    external schedulers call it through {!Demons.run_due} so demons fire
-    identically whether or not a server owns the clock. *)
+    time: the commit demon (group-commit force), the background
+    home-write demon (once the current third passes
+    [Params.home_write_fill], pre-flush up to [home_writes_per_pass]
+    pages/leaders whose survival horizon is the next third, traced as
+    [Home_write_burst]), and the scrub demon — each scrub pass verifies
+    a few FNT page pairs (both copies, by checksum) and a few leaders,
+    repairing lone bad copies in place (counted in {!counters}).
+    [tick us] is [advance us] plus this; external schedulers call it
+    through {!Demons.run_due} so demons fire identically whether or not
+    a server owns the clock. *)
 
 (** {1 Submission (server scheduler interface)}
 
@@ -167,9 +177,11 @@ val durable_seq : t -> int
     [token_durable] is [durable_seq >= token]. *)
 
 val log_third_fill : t -> float
-(** Fraction of the current log third already consumed, in [0,1) — the
+(** Fraction of the current log third already consumed, in [0,1] — the
     batcher's backpressure signal: near 1.0 the next force enters a fresh
-    third, evicting that third's logged pages. *)
+    third, evicting that third's logged pages. Reads exactly 1.0 (never
+    wrapping early to 0.0) while the head sits on a third boundary,
+    since the entry happens only on the next append. *)
 
 val commit_due_at : t -> int
 (** Virtual time at which the half-second commit demon next fires

@@ -260,6 +260,15 @@ let write_off t = t.write_off
 let stats t = t.stats
 let next_record_no t = t.next_record_no
 
+(* Fill of the current third, measured from that third's own base. When a
+   record ends exactly on a third boundary the head has not yet entered
+   the next third (entry happens on the next append), so the fill must
+   read 1.0 — not wrap to 0.0 — until reclamation actually runs. *)
+let third_fill t =
+  let third = third_sectors t.layout in
+  let off = t.write_off - (t.current_third * third) in
+  min 1.0 (float_of_int off /. float_of_int third)
+
 (* After a clean shutdown every page is home; point the next recovery at
    the (empty) end of the chain so it replays nothing. *)
 let reset_pointer t =
@@ -483,50 +492,82 @@ let read_record device layout ~off ~expected ~corrected =
       end
   end
 
-let recover device layout =
+type pass = {
+  p_records : int;
+  p_last_record_no : int64 option;
+  p_pointer_record_no : int64;
+  p_next_write_off : int;
+  p_surviving : (int * int64) list;
+  p_corrected_sectors : int;
+}
+
+(* The single sequential REDO pass: follow the chain from the pointer,
+   hand each committed record to [f] in log order, stop at the first
+   break. Every live log sector is read exactly once — the wrap probe
+   applies the record it decodes instead of rescanning it, and a chain
+   that started at offset 0 is never probed there again. *)
+let replay device layout ~f =
   let corrected = ref 0 in
   match read_pointer device layout with
   | None ->
     (* Both pointer copies gone: nothing can be replayed. *)
     {
-      replayed_records = 0;
-      last_record_no = None;
-      pointer_record_no = 1L;
-      next_write_off = 0;
-      surviving = [];
-      corrected_sectors = 0;
-      images = [];
+      p_records = 0;
+      p_last_record_no = None;
+      p_pointer_record_no = 1L;
+      p_next_write_off = 0;
+      p_surviving = [];
+      p_corrected_sectors = 0;
     }
   | Some (ptr_off, ptr_no, _boot) ->
-    let images : (unit_kind, bytes * int64) Hashtbl.t = Hashtbl.create 64 in
     let surviving = ref [] in
     let replayed = ref 0 in
     let last_no = ref None in
+    let apply ~off expected units =
+      f ~record_no:expected ~off units;
+      surviving := (off, expected) :: !surviving;
+      incr replayed;
+      last_no := Some expected
+    in
     let rec scan off expected wrapped visited =
       if visited > body_sectors layout then off
       else
         match read_record device layout ~off ~expected ~corrected with
         | Some (units, size) ->
-          List.iter (fun u -> Hashtbl.replace images u.kind (u.image, expected)) units;
-          surviving := (off, expected) :: !surviving;
-          incr replayed;
-          last_no := Some expected;
+          apply ~off expected units;
           scan (off + size) (Int64.add expected 1L) wrapped (visited + size)
         | None ->
           (* The writer may have wrapped to offset 0 mid-chain. *)
-          if (not wrapped) && off <> 0 then
+          if (not wrapped) && off <> 0 && ptr_off <> 0 then
             match read_record device layout ~off:0 ~expected ~corrected with
-            | Some _ -> scan 0 expected true visited
+            | Some (units, size) ->
+              apply ~off:0 expected units;
+              scan size (Int64.add expected 1L) true (visited + size)
             | None -> off
           else off
     in
     let next_off = scan ptr_off ptr_no false 0 in
     {
-      replayed_records = !replayed;
-      last_record_no = !last_no;
-      pointer_record_no = ptr_no;
-      next_write_off = next_off;
-      surviving = List.rev !surviving;
-      corrected_sectors = !corrected;
-      images = Hashtbl.fold (fun k (img, no) acc -> (k, img, no) :: acc) images [];
+      p_records = !replayed;
+      p_last_record_no = !last_no;
+      p_pointer_record_no = ptr_no;
+      p_next_write_off = next_off;
+      p_surviving = List.rev !surviving;
+      p_corrected_sectors = !corrected;
     }
+
+let recover device layout =
+  let images : (unit_kind, bytes * int64) Hashtbl.t = Hashtbl.create 64 in
+  let p =
+    replay device layout ~f:(fun ~record_no ~off:_ units ->
+        List.iter (fun u -> Hashtbl.replace images u.kind (u.image, record_no)) units)
+  in
+  {
+    replayed_records = p.p_records;
+    last_record_no = p.p_last_record_no;
+    pointer_record_no = p.p_pointer_record_no;
+    next_write_off = p.p_next_write_off;
+    surviving = p.p_surviving;
+    corrected_sectors = p.p_corrected_sectors;
+    images = Hashtbl.fold (fun k (img, no) acc -> (k, img, no) :: acc) images [];
+  }

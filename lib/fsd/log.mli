@@ -71,6 +71,12 @@ val write_off : t -> int
 (** Current append offset within the log body, in sectors (the black
     box records it so a post-crash reader sees where the log stood). *)
 
+val third_fill : t -> float
+(** Fill of the current third in [0, 1], measured from that third's own
+    base offset. Reads exactly 1.0 when the head sits on the boundary of
+    the next third (entry — and reclamation — happen on the next
+    append), never wrapping early to 0.0. *)
+
 val stats : t -> stats
 
 val next_record_no : t -> int64
@@ -103,7 +109,28 @@ type recovery = {
           came from (later records shadow earlier) *)
 }
 
+type pass = {
+  p_records : int;
+  p_last_record_no : int64 option;
+  p_pointer_record_no : int64;
+  p_next_write_off : int;
+  p_surviving : (int * int64) list;
+  p_corrected_sectors : int;
+}
+(** Summary of one {!replay} pass; field meanings as in {!recovery}. *)
+
+val replay :
+  Cedar_disk.Device.t ->
+  Layout.t ->
+  f:(record_no:int64 -> off:int -> logged_unit list -> unit) ->
+  pass
+(** The single sequential REDO pass: follow the chain from the
+    oldest-record pointer and hand each committed record to [f] in log
+    order, stopping at the first break; tolerant of 1–2 consecutive
+    damaged sectors anywhere (uses the replicas). Every live log sector
+    is read at most once — restart cost is linear in the live log
+    length. *)
+
 val recover : Cedar_disk.Device.t -> Layout.t -> recovery
-(** Scans the log from the oldest-record pointer, following the record
-    chain until it breaks; tolerant of 1–2 consecutive damaged sectors
-    anywhere (uses the replicas). *)
+(** {!replay} specialised to collect the final image per logged unit
+    (later records shadow earlier ones). *)

@@ -18,6 +18,8 @@ type t = {
   scrub_pages_per_pass : int;
   scrub_leaders_per_pass : int;
   blackbox_every_n_forces : int;
+  home_write_fill : float;
+  home_writes_per_pass : int;
 }
 
 (* Black-box flight-recorder region: two generation slots right after the
@@ -47,6 +49,8 @@ let default =
     scrub_pages_per_pass = 4;
     scrub_leaders_per_pass = 8;
     blackbox_every_n_forces = 1;
+    home_write_fill = 0.5;
+    home_writes_per_pass = 4;
   }
 
 let for_geometry g =
@@ -90,6 +94,9 @@ let validate g t =
     Error "negative scrub batch size"
   else if t.blackbox_every_n_forces < 1 then
     Error "blackbox_every_n_forces must be at least 1"
+  else if t.home_write_fill < 0.0 || t.home_write_fill > 1.0 then
+    Error "home_write_fill outside [0, 1]"
+  else if t.home_writes_per_pass < 0 then Error "negative home-write batch size"
   else if t.fnt_page_sectors < 1 || t.fnt_page_sectors > 16 then
     Error "fnt_page_sectors out of range"
   else if t.log_sectors < 3 + (3 * max_record) then

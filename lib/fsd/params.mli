@@ -41,6 +41,16 @@ type t = {
           High-client-count runs force often; a larger cadence keeps the
           recorder's I/O out of the commit path most of the time. Clean
           shutdown always checkpoints regardless. *)
+  home_write_fill : float;
+      (** once the current log third is at least this full, the
+          background demon starts pre-flushing dirty pages whose
+          survival horizon is the next third, in bounded batches between
+          group commits — so reclamation at the third entry finds little
+          synchronous work left. 1.0 disables the demon (entry-time
+          reclamation remains). *)
+  home_writes_per_pass : int;
+      (** page/leader home-write budget per background demon pass; 0
+          disables the demon. *)
 }
 
 val blackbox_slot_sectors : int

@@ -145,6 +145,18 @@ let chrome entries =
         push
           (complete ~name:("recovery-" ^ phase) ~cat:"recovery" ~ts ~dur:us
              ~tid:tid_meta [])
+      | Trace.Home_write_burst { third; pages; leaders } ->
+        push
+          (instant ~name:"home-write-burst" ~cat:"fsd" ~ts ~tid:tid_meta
+             [
+               ("third", Jsonb.Int third);
+               ("pages", Jsonb.Int pages);
+               ("leaders", Jsonb.Int leaders);
+             ])
+      | Trace.Reclaim_stall { third; pinned } ->
+        push
+          (instant ~name:"reclaim-stall" ~cat:"fsd" ~ts ~tid:tid_meta
+             [ ("third", Jsonb.Int third); ("pinned", Jsonb.Int pinned) ])
       | Trace.Session_wait { client; us } ->
         (* Emitted at the wake time: the wait occupied [ts - us, ts]. *)
         let tid = tid_session_base + client in

@@ -20,6 +20,8 @@ type event =
   | Op_end of { op : string; us : int }
   | Blackbox_checkpoint of { gen : int64; events : int; sectors : int }
   | Session_wait of { client : int; us : int }
+  | Home_write_burst of { third : int; pages : int; leaders : int }
+  | Reclaim_stall of { third : int; pinned : int }
 
 type entry = { seq : int; span : int; at_us : int; event : event }
 
@@ -196,6 +198,15 @@ let encode_event w = function
     W.u8 w 14;
     W.u16 w client;
     W.i64 w us
+  | Home_write_burst { third; pages; leaders } ->
+    W.u8 w 15;
+    W.u8 w third;
+    W.u16 w pages;
+    W.u16 w leaders
+  | Reclaim_stall { third; pinned } ->
+    W.u8 w 16;
+    W.u8 w third;
+    W.u16 w pinned
 
 let decode_event r =
   match R.u8 r with
@@ -259,6 +270,15 @@ let decode_event r =
     let client = R.u16 r in
     let us = R.i64 r in
     Session_wait { client; us }
+  | 15 ->
+    let third = R.u8 r in
+    let pages = R.u16 r in
+    let leaders = R.u16 r in
+    Home_write_burst { third; pages; leaders }
+  | 16 ->
+    let third = R.u8 r in
+    let pinned = R.u16 r in
+    Reclaim_stall { third; pinned }
   | n ->
     raise (Cedar_util.Bytebuf.Decode_error (Printf.sprintf "trace event tag %d" n))
 
@@ -305,6 +325,11 @@ let pp_event ppf = function
       events sectors
   | Session_wait { client; us } ->
     Format.fprintf ppf "session-wait client=%d us=%d" client us
+  | Home_write_burst { third; pages; leaders } ->
+    Format.fprintf ppf "home-write-burst third=%d pages=%d leaders=%d" third
+      pages leaders
+  | Reclaim_stall { third; pinned } ->
+    Format.fprintf ppf "reclaim-stall third=%d pinned=%d" third pinned
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%d span=%d t=%.3fms %a" e.seq e.span

@@ -52,6 +52,14 @@ type event =
           waits"); emitted at the wake time, so the wait spans
           [at_us - us, at_us]. The Chrome exporter turns it into a
           complete event on the session's own track. *)
+  | Home_write_burst of { third : int; pages : int; leaders : int }
+      (** One batched background home-write pass pre-flushing dirty FNT
+          pages and leaders whose survival horizon is [third], issued
+          between group commits once reclamation is near (§4.4). *)
+  | Reclaim_stall of { third : int; pinned : int }
+      (** Reclamation of [third] found [pinned] modified pages holding no
+          committed image; the reclaim was refused with a typed error
+          instead of home-writing uncommitted state. *)
 
 type entry = {
   seq : int;  (** monotonically increasing; also the span id of [Op_begin] *)

@@ -1,0 +1,43 @@
+(** Log-wrap endurance: the churn workload driven through the
+    concurrent server until the log wraps repeatedly, with three
+    self-verification stages — the serve must be clean (no errors,
+    drops or aborts), the live volume must match the version-aware
+    {!Oracle} fold of every client's mutations, and a clean shutdown +
+    reboot must replay zero records while reproducing the namespace
+    digest byte-for-byte.
+
+    Fully deterministic: same spec, same geometry → byte-identical
+    {!report_json}. *)
+
+type cfg = { clients : int; spec : Cedar_workload.Concurrent.churn_spec }
+
+val default_cfg : cfg
+(** 2 clients running {!Cedar_workload.Concurrent.default_churn}. *)
+
+type result = {
+  e_report : Server.report;
+  e_third_entries : int;  (** thirds entered — /3 for full log wraps *)
+  e_log_records : int;
+  e_home_write_bursts : int;  (** background home-write demon passes *)
+  e_reclaim_stalls : int;  (** typed [Log_reclaim_stall] refusals *)
+  e_fnt_home_writes : int;
+  e_violations : string list;  (** live-volume oracle mismatches *)
+  e_replayed_after_shutdown : int;  (** must be 0 *)
+  e_digest_match : bool;  (** reboot reproduced the namespace *)
+  e_violations_after_reboot : string list;
+}
+
+val clean : result -> bool
+(** No violations in either stage, zero records replayed after the
+    clean shutdown, digest reproduced. *)
+
+val run : ?geom:Cedar_disk.Geometry.t -> cfg -> result
+(** Run on a fresh in-memory volume ([Geometry.small_test] by default;
+    [Geometry.tiny_test] wraps far faster for the same spec). Raises
+    [Invalid_argument] if [churn_keep] disagrees with the geometry's
+    [default_keep] or [clients < 1]. *)
+
+val report_json : result -> Cedar_obs.Jsonb.t
+(** Deterministic rendering, byte-identical across same-spec runs. *)
+
+val pp : Format.formatter -> result -> unit

@@ -38,18 +38,49 @@ module Metrics = Cedar_obs.Metrics
 module Trace = Cedar_obs.Trace
 module Jsonb = Cedar_obs.Jsonb
 
+type workload =
+  | Reference  (** the unique-name crash_reference script, all intervals *)
+  | Wrap of Concurrent.churn_spec
+      (** churn sized to wrap the log; the sweep targets only the force
+          intervals in the wrap window (a third entry, or adjacent) *)
+
 type cfg = {
   clients : int;
   tears : Device.tear list;
   max_forces : int option;  (** sweep only intervals [0 .. k-1] *)
   scavenge : bool;  (** destroy both FNT copies before every reboot *)
+  workload : workload;
 }
 
 let all_tears =
   [ Device.Tear_none; Device.Tear_zero; Device.Tear_garbage; Device.Tear_damage 1 ]
 
 let default_cfg =
-  { clients = 2; tears = all_tears; max_forces = None; scavenge = false }
+  {
+    clients = 2;
+    tears = all_tears;
+    max_forces = None;
+    scavenge = false;
+    workload = Reference;
+  }
+
+(* Sized for [Geometry.tiny_test] (37-sector thirds): two clients'
+   worth wraps the log more than once while keeping the sweep's
+   (interval x write x tear) product affordable. Forcing every
+   mutation keeps intervals small, so each third entry is bracketed by
+   crash points only a few sector writes apart. *)
+let default_wrap_spec =
+  {
+    Concurrent.default_churn with
+    Concurrent.slots = 4;
+    churn_ops = 30;
+    bytes_min = 200;
+    bytes_max = 900;
+    churn_think_us = 1_000;
+    force_every = 1;
+  }
+
+let workload_name = function Reference -> "reference" | Wrap _ -> "wrap"
 
 let tear_name = function
   | Device.Tear_none -> "none"
@@ -75,8 +106,10 @@ type violation = {
 
 type summary = {
   sw_clients : int;
+  sw_workload : string;
   sw_scavenge : bool;
   sw_writes_per_interval : int array;
+  sw_intervals : int list;  (** force intervals actually swept *)
   sw_points : int;  (** (interval, write) coordinates enumerated *)
   sw_runs : int;  (** crash runs executed (points × tear modes) *)
   sw_replay : int;
@@ -86,59 +119,6 @@ type summary = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* The per-client model: fold a prefix of the mutating ops.            *)
-
-type mut =
-  | Mcreate of { name : string; bytes : int; fill : int }
-  | Mdelete of string
-
-let muts_of_script script =
-  List.filter_map
-    (function
-      | Concurrent.Op (Concurrent.Create { name; bytes; fill }) ->
-        Some (Mcreate { name; bytes; fill })
-      | Concurrent.Op (Concurrent.Delete name) -> Some (Mdelete name)
-      | _ -> None)
-    script
-
-let mut_names muts =
-  List.sort_uniq String.compare
-    (List.map (function Mcreate { name; _ } -> name | Mdelete n -> n) muts)
-
-(* Expected name -> Some (bytes, fill) | None after the first [i] muts. *)
-let state_after muts i =
-  let tbl = Hashtbl.create 13 in
-  List.iteri
-    (fun j m ->
-      if j < i then
-        match m with
-        | Mcreate { name; bytes; fill } ->
-          Hashtbl.replace tbl name (Some (bytes, fill))
-        | Mdelete name -> Hashtbl.replace tbl name None)
-    muts;
-  tbl
-
-let actual_file fs ~name =
-  if not (Fsd.exists fs ~name) then Ok None
-  else
-    match Fsd.read_all fs ~name with
-    | b -> Ok (Some b)
-    | exception e -> Error (Printexc.to_string e)
-
-(* Does the recovered state equal the fold of the first [i] muts? *)
-let matches_prefix fs muts names i =
-  let expect = state_after muts i in
-  List.for_all
-    (fun name ->
-      let want = try Hashtbl.find expect name with Not_found -> None in
-      match (actual_file fs ~name, want) with
-      | Ok None, None -> true
-      | Ok (Some b), Some (bytes, fill) ->
-        Bytes.equal b (Concurrent.content ~fill bytes)
-      | Ok _, _ | Error _, _ -> false)
-    names
-
-(* ------------------------------------------------------------------ *)
 (* Volume construction and calibration.                                *)
 
 type base = {
@@ -146,9 +126,11 @@ type base = {
   params : Params.t;
   layout : Layout.t;
   scripts : Concurrent.script array;
-  muts : mut list array;  (* per client *)
+  muts : Oracle.mut list array;  (* per client *)
   names : string list array;  (* per client *)
   writes : int array;  (* per force interval, from the recording pass *)
+  wrap_intervals : int list;
+      (* intervals in which the log entered a third, plus neighbours *)
   baseline_free : int;  (* free sectors of the empty volume *)
   first_gen : int64;  (* generation of the first blackbox checkpoint *)
 }
@@ -173,11 +155,42 @@ let server_config plan =
     Server.on_force = Some (fun _ -> Crash_plan.note_force plan);
   }
 
-let calibrate ~clients geom =
+(* The wrap window: every force interval in which the log entered a
+   third, widened by one interval each side — the entry's home-write
+   burst and pointer rewrite happen inside it, while the appends that
+   arm and immediately follow the entry land in the neighbours. A run
+   with [f] forces has [f + 1] intervals (interval [f] is the open one
+   after the last force); [samples.(k)] is the third-entry count just
+   before force [k + 1] fired and [total] the count at the end, so
+   interval [i] saw [after i - before i] entries. *)
+let wrap_window ~samples ~total =
+  let f = Array.length samples in
+  let before i = if i = 0 then 0 else samples.(i - 1) in
+  let after i = if i < f then samples.(i) else total in
+  let window = Hashtbl.create 13 in
+  for i = 0 to f do
+    if after i - before i > 0 then begin
+      Hashtbl.replace window i ();
+      if i > 0 then Hashtbl.replace window (i - 1) ();
+      if i < f then Hashtbl.replace window (i + 1) ()
+    end
+  done;
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) window [])
+
+let calibrate ~clients ~workload geom =
   let params = Params.for_geometry geom in
-  let scripts = Concurrent.crash_reference ~clients in
-  let muts = Array.map muts_of_script scripts in
-  let names = Array.map mut_names muts in
+  let scripts =
+    match workload with
+    | Reference -> Concurrent.crash_reference ~clients
+    | Wrap spec ->
+      if spec.Concurrent.churn_keep <> params.Params.default_keep then
+        invalid_arg
+          "Faultsweep.calibrate: churn_keep must match the volume's \
+           default_keep";
+      Concurrent.churn_scripts spec ~clients
+  in
+  let muts = Array.map Oracle.muts_of_script scripts in
+  let names = Array.map Oracle.mut_names muts in
   let baseline_free =
     let clock = Simclock.create () in
     let device = Device.create ~clock geom in
@@ -194,19 +207,44 @@ let calibrate ~clients geom =
       muts;
       names;
       writes = [||];
+      wrap_intervals = [];
       baseline_free;
       first_gen = 1L;
     }
   in
   let device, fs = fresh_volume pre in
   let plan = Crash_plan.attach device in
-  let r = Server.serve ~config:(server_config plan) fs scripts in
+  let samples = ref [] in
+  let config =
+    {
+      (server_config plan) with
+      Server.on_force =
+        Some
+          (fun _ ->
+            samples := (Fsd.log_stats fs).Log.third_entries :: !samples;
+            Crash_plan.note_force plan);
+    }
+  in
+  let r = Server.serve ~config fs scripts in
   Crash_plan.detach plan;
   if r.Server.total_errors > 0 || r.Server.total_rejected > 0
      || r.Server.total_aborted > 0 || r.Server.total_dropped > 0
   then
     invalid_arg
       "Faultsweep.calibrate: the reference workload must replay clean";
+  let total_entries = (Fsd.log_stats fs).Log.third_entries in
+  let wrap_intervals =
+    match workload with
+    | Reference -> []
+    | Wrap _ ->
+      let samples = Array.of_list (List.rev !samples) in
+      let w = wrap_window ~samples ~total:total_entries in
+      if w = [] then
+        invalid_arg
+          "Faultsweep.calibrate: the churn workload never entered a third \
+           (no wrap window to sweep)";
+      w
+  in
   let n = checkpoints_done device in
   let first_gen =
     match Blackbox.read device (Fsd.layout fs) with
@@ -217,6 +255,7 @@ let calibrate ~clients geom =
     pre with
     layout = Fsd.layout fs;
     writes = Crash_plan.writes_per_interval plan;
+    wrap_intervals;
     first_gen;
   }
 
@@ -268,8 +307,11 @@ let check_vam base fs add =
          free want)
 
 (* Strict oracle: each client's recovered namespace is the fold of a
-   prefix of its mutating ops at least as long as its acked count. *)
+   prefix of its mutating ops at least as long as its acked count —
+   version-aware, so churn workloads that re-create live names are
+   checked exactly (stack depth, newest content). *)
 let check_clients base fs acked add =
+  let keep = base.params.Params.default_keep in
   Array.iteri
     (fun client muts ->
       let names = base.names.(client) in
@@ -282,7 +324,7 @@ let check_clients base fs acked add =
       else begin
         let rec search i =
           if i > len then false
-          else matches_prefix fs muts names i || search (i + 1)
+          else Oracle.matches_prefix fs ~keep muts names i || search (i + 1)
         in
         if not (search acked_count) then
           add
@@ -305,7 +347,7 @@ let check_clients_scavenged base fs acked add =
   Array.iteri
     (fun client muts ->
       let deleted =
-        List.filter_map (function Mdelete n -> Some n | _ -> None) muts
+        List.filter_map (function Oracle.Mdelete n -> Some n | _ -> None) muts
       in
       let acked_creates =
         List.filter_map
@@ -318,16 +360,16 @@ let check_clients_scavenged base fs acked add =
       List.iter
         (fun m ->
           match m with
-          | Mcreate { name; bytes; fill }
+          | Oracle.Mcreate { name; bytes; fill }
             when List.mem name acked_creates && not (List.mem name deleted)
             -> (
-            match actual_file fs ~name with
+            match Oracle.actual_file fs ~name with
             | Ok None -> add (Printf.sprintf "scavenge lost acked create %s" name)
             | Ok (Some b) ->
               if not (Bytes.equal b (Concurrent.content ~fill bytes)) then
                 add (Printf.sprintf "scavenged content of %s is wrong" name)
             | Error m -> add (Printf.sprintf "%s unreadable: %s" name m))
-          | Mcreate _ | Mdelete _ -> ())
+          | Oracle.Mcreate _ | Oracle.Mdelete _ -> ())
         muts)
     base.muts
 
@@ -392,48 +434,97 @@ let run_point cfg base ~force ~write ~tear =
         | Ok () -> ()
         | Error m -> add ("structural check failed: " ^ m));
         check_no_aliens base fs2 add;
-        if cfg.scavenge || path = Scavenged then
-          check_clients_scavenged base fs2 acked add
-        else begin
-          check_clients base fs2 acked add;
-          check_vam base fs2 add
-        end;
+        (if cfg.scavenge || path = Scavenged then
+           match cfg.workload with
+           | Reference -> check_clients_scavenged base fs2 acked add
+           | Wrap _ ->
+             (* Churn deletes and re-creates most of its names, so the
+                "acked create never deleted" witness the scavenged
+                oracle rests on does not exist; structural soundness
+                and no-alien-names are all that can be demanded. *)
+             ()
+         else begin
+           check_clients base fs2 acked add;
+           check_vam base fs2 add
+         end);
+        (* Convergence clause: a record whose images were already
+           written home must never be replayed into stale state. A
+           clean shutdown resets the log pointer past everything
+           recovery just applied, so a second boot must replay nothing
+           and reproduce the namespace byte-for-byte — if replay and
+           the home-write path disagree about who owns a page, this is
+           where it shows. *)
+        let digest = Oracle.volume_digest fs2 in
+        (match Fsd.shutdown fs2 with
+        | () -> (
+          match Fsd.boot device with
+          | fs3, br ->
+            if br.Fsd.replayed_records <> 0 then
+              add
+                (Printf.sprintf
+                   "second boot after clean shutdown replayed %d record(s)"
+                   br.Fsd.replayed_records);
+            if Oracle.volume_digest fs3 <> digest then
+              add "clean shutdown + reboot changed the recovered namespace";
+            (match Fsd.check fs3 with
+            | Ok () -> ()
+            | Error m -> add ("structural check failed after clean reboot: " ^ m))
+          | exception e ->
+            add ("reboot after clean shutdown raised " ^ Printexc.to_string e))
+        | exception e ->
+          add ("clean shutdown after recovery raised " ^ Printexc.to_string e));
         Some path)
   in
   (path, List.rev !violations)
 
-let sweep ?(geom = Geometry.small_test) cfg =
+let sweep ?geom cfg =
   if cfg.clients < 1 then invalid_arg "Faultsweep.sweep: clients < 1";
   if cfg.tears = [] then invalid_arg "Faultsweep.sweep: no tear modes";
-  let base = calibrate ~clients:cfg.clients geom in
-  let intervals =
+  let geom =
+    match geom with
+    | Some g -> g
+    | None -> (
+      match cfg.workload with
+      | Reference -> Geometry.small_test
+      | Wrap _ -> Geometry.tiny_test)
+  in
+  let base = calibrate ~clients:cfg.clients ~workload:cfg.workload geom in
+  let bound =
     match cfg.max_forces with
     | Some k -> min k (Array.length base.writes)
     | None -> Array.length base.writes
   in
+  let intervals =
+    match cfg.workload with
+    | Reference -> List.init bound Fun.id
+    | Wrap _ -> List.filter (fun i -> i < bound) base.wrap_intervals
+  in
   let points = ref 0 and runs = ref 0 in
   let replay = ref 0 and twin = ref 0 and scav = ref 0 in
   let violations = ref [] in
-  for force = 0 to intervals - 1 do
-    for write = 0 to base.writes.(force) - 1 do
-      incr points;
-      List.iter
-        (fun tear ->
-          incr runs;
-          let path, vs = run_point cfg base ~force ~write ~tear in
-          (match path with
-          | Some Replay -> incr replay
-          | Some Twin_repair -> incr twin
-          | Some Scavenged -> incr scav
-          | None -> ());
-          violations := List.rev_append vs !violations)
-        cfg.tears
-    done
-  done;
+  List.iter
+    (fun force ->
+      for write = 0 to base.writes.(force) - 1 do
+        incr points;
+        List.iter
+          (fun tear ->
+            incr runs;
+            let path, vs = run_point cfg base ~force ~write ~tear in
+            (match path with
+            | Some Replay -> incr replay
+            | Some Twin_repair -> incr twin
+            | Some Scavenged -> incr scav
+            | None -> ());
+            violations := List.rev_append vs !violations)
+          cfg.tears
+      done)
+    intervals;
   {
     sw_clients = cfg.clients;
+    sw_workload = workload_name cfg.workload;
     sw_scavenge = cfg.scavenge;
     sw_writes_per_interval = base.writes;
+    sw_intervals = intervals;
     sw_points = !points;
     sw_runs = !runs;
     sw_replay = !replay;
@@ -458,11 +549,13 @@ let summary_json s =
   Jsonb.Obj
     [
       ("clients", Jsonb.Int s.sw_clients);
+      ("workload", Jsonb.Str s.sw_workload);
       ("scavenge", Jsonb.Bool s.sw_scavenge);
       ( "writes_per_interval",
         Jsonb.Arr
           (Array.to_list (Array.map (fun n -> Jsonb.Int n) s.sw_writes_per_interval))
       );
+      ("intervals", Jsonb.Arr (List.map (fun i -> Jsonb.Int i) s.sw_intervals));
       ("points", Jsonb.Int s.sw_points);
       ("runs", Jsonb.Int s.sw_runs);
       ( "recovery_paths",
@@ -476,12 +569,15 @@ let summary_json s =
     ]
 
 let pp ppf s =
-  Format.fprintf ppf "crash sweep: %d client(s)%s@." s.sw_clients
+  Format.fprintf ppf "crash sweep: %d client(s), %s workload%s@." s.sw_clients
+    s.sw_workload
     (if s.sw_scavenge then " (scavenge mode)" else "");
   Format.fprintf ppf "  force intervals: %d  writes per interval: [%s]@."
     (Array.length s.sw_writes_per_interval)
     (String.concat " "
        (Array.to_list (Array.map string_of_int s.sw_writes_per_interval)));
+  Format.fprintf ppf "  intervals swept: [%s]@."
+    (String.concat " " (List.map string_of_int s.sw_intervals));
   Format.fprintf ppf "  points swept: %d  crash runs: %d@." s.sw_points s.sw_runs;
   Format.fprintf ppf
     "  recovery paths: log-replay %d, twin-repair %d, scavenge %d@." s.sw_replay

@@ -1,0 +1,138 @@
+(* The recovery oracle: a version-aware model of what a volume must
+   contain after replaying a prefix of a client's mutating operations.
+
+   The crash sweep's original model was a flat name -> latest-create
+   map, which is exact only for workloads that never reuse a name. The
+   churn workload re-creates live names on purpose — each create pushes
+   a new version and the file system truncates to the entry's [keep] —
+   so the model here is a per-name version stack:
+
+   - [Mcreate] pushes (bytes, fill) and truncates the stack to [keep]
+     newest (keep 0 = unlimited), mirroring [Fsd.enforce_keep];
+   - [Mdelete] pops the newest version, exposing the previous one.
+
+   A volume matches a state when, for every name the workload ever
+   touches: the name exists iff its stack is non-empty, its live
+   version count equals the stack depth, and its newest content is
+   byte-equal to the top of the stack. For unique-name workloads this
+   degenerates to the old flat model, so the sweep's reference script
+   is checked by the same code. *)
+
+open Cedar_fsd
+open Cedar_workload
+
+type mut =
+  | Mcreate of { name : string; bytes : int; fill : int }
+  | Mdelete of string
+
+let mut_of_op = function
+  | Concurrent.Create { name; bytes; fill } -> Some (Mcreate { name; bytes; fill })
+  | Concurrent.Delete name -> Some (Mdelete name)
+  | Concurrent.Open _ | Concurrent.Read _ | Concurrent.Read_page _
+  | Concurrent.List _ | Concurrent.Force ->
+    None
+
+let muts_of_script script =
+  List.filter_map
+    (function Concurrent.Op op -> mut_of_op op | Concurrent.Think _ -> None)
+    script
+
+let mut_name = function Mcreate { name; _ } -> name | Mdelete name -> name
+
+let mut_names muts = List.sort_uniq String.compare (List.map mut_name muts)
+
+(* name -> (bytes, fill) versions, newest first. Absent and [] mean the
+   same thing: no live version. *)
+type state = (string, (int * int) list) Hashtbl.t
+
+let truncate_keep keep stack =
+  if keep <= 0 then stack
+  else begin
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | v :: rest -> v :: take (n - 1) rest
+    in
+    take keep stack
+  end
+
+let apply_mut ~keep (tbl : state) = function
+  | Mcreate { name; bytes; fill } ->
+    let stack = Option.value (Hashtbl.find_opt tbl name) ~default:[] in
+    Hashtbl.replace tbl name (truncate_keep keep ((bytes, fill) :: stack))
+  | Mdelete name -> (
+    match Hashtbl.find_opt tbl name with
+    | Some (_ :: rest) -> Hashtbl.replace tbl name rest
+    | Some [] | None ->
+      (* The workload generators never delete a dead name; modelling it
+         as a no-op keeps the oracle total anyway. *)
+      ())
+
+let state_after ~keep muts i =
+  let tbl : state = Hashtbl.create 13 in
+  List.iteri (fun j m -> if j < i then apply_mut ~keep tbl m) muts;
+  tbl
+
+let expected_stack (tbl : state) name =
+  Option.value (Hashtbl.find_opt tbl name) ~default:[]
+
+let actual_file fs ~name =
+  if not (Fsd.exists fs ~name) then Ok None
+  else
+    match Fsd.read_all fs ~name with
+    | b -> Ok (Some b)
+    | exception e -> Error (Printexc.to_string e)
+
+(* Every discrepancy between the volume and [state] over [names], as
+   human-readable strings; [] means the volume matches. *)
+let diff fs (state : state) names =
+  List.concat_map
+    (fun name ->
+      let want = expected_stack state name in
+      match (actual_file fs ~name, want) with
+      | Ok None, [] -> []
+      | Ok None, _ :: _ ->
+        [ Printf.sprintf "%s missing (want %d version(s))" name (List.length want) ]
+      | Ok (Some _), [] -> [ Printf.sprintf "%s present, want absent" name ]
+      | Ok (Some b), (bytes, fill) :: _ ->
+        let content =
+          if Bytes.equal b (Concurrent.content ~fill bytes) then []
+          else [ Printf.sprintf "%s newest content is wrong" name ]
+        in
+        let live = List.length (Fsd.versions fs ~name) in
+        let depth =
+          if live = List.length want then []
+          else
+            [
+              Printf.sprintf "%s has %d live version(s), want %d" name live
+                (List.length want);
+            ]
+        in
+        content @ depth
+      | Error m, _ -> [ Printf.sprintf "%s unreadable: %s" name m ])
+    names
+
+let matches_prefix fs ~keep muts names i =
+  diff fs (state_after ~keep muts i) names = []
+
+(* Deterministic digest of everything recovery is responsible for:
+   every name-table key plus the newest content of every name. Two
+   boots of the same volume must produce equal digests — the
+   convergence check behind "a record already written home must never
+   be replayed into stale state". *)
+let volume_digest fs =
+  let entries =
+    Fsd.fold_entries fs ~init:[] ~f:(fun acc ~name ~version _ ->
+        (name, version) :: acc)
+  in
+  let names = List.sort_uniq String.compare (List.map fst entries) in
+  let contents =
+    List.map
+      (fun name ->
+        match actual_file fs ~name with
+        | Ok (Some b) -> (name, Digest.bytes b)
+        | Ok None -> (name, "")
+        | Error m -> (name, "error:" ^ m))
+      names
+  in
+  (List.sort compare entries, contents)

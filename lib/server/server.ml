@@ -94,6 +94,10 @@ type t = {
   mutable acked_rev : (int * Concurrent.op) list;  (* ack journal, newest first *)
   commit_wait_us : Stats.t;
   batch_size : Stats.t;
+  c_reject_queue_full : Metrics.counter;
+  c_reject_backpressure : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_dropped : Metrics.counter;
 }
 
 type session_report = {
@@ -117,6 +121,9 @@ type report = {
   log_forces : int;
   ops_per_force : float;
   total_rejected : int;
+  reject_queue_full : int;
+  reject_backpressure : int;
+  total_retries : int;
   total_dropped : int;
   total_errors : int;
   total_aborted : int;
@@ -217,17 +224,23 @@ let admission_reject t (s : session) (op : Concurrent.op) =
   if not (Concurrent.mutates op) then None
   else begin
     let depth = parked_count t in
-    let reject e =
+    let reject c e =
       s.rejected <- s.rejected + 1;
+      Metrics.inc c;
       (match t.cfg.on_reject with Some f -> f ~client:s.client e | None -> ());
       Some e
     in
     if depth >= t.cfg.queue_cap then
-      reject (Queue_full { depth; cap = t.cfg.queue_cap })
+      reject t.c_reject_queue_full (Queue_full { depth; cap = t.cfg.queue_cap })
+    else if t.cfg.backpressure_fill >= 1.0 then
+      (* 1.0 means "trigger off" by contract — and must be tested
+         explicitly, because [log_third_fill] legitimately reads exactly
+         1.0 while the head sits on a third boundary. *)
+      None
     else
       let fill = Fsd.log_third_fill t.fsd in
       if fill >= t.cfg.backpressure_fill then
-        reject
+        reject t.c_reject_backpressure
           (Backpressure { depth; fill; threshold = t.cfg.backpressure_fill })
       else None
   end
@@ -292,11 +305,13 @@ let step t s =
            next commit opportunity has had a chance to drain the queue —
            a reject must never silently drop the mutation. *)
         s.retries <- s.retries + 1;
+        Metrics.inc t.c_retries;
         s.state <- Thinking { until = max (now t + 1) (Fsd.commit_due_at t.fsd) }
       | Some _ ->
         (* Retries exhausted: give up on this step, but account for it. *)
         s.retries <- 0;
         s.dropped <- s.dropped + 1;
+        Metrics.inc t.c_dropped;
         s.steps <- rest
       | None ->
         s.retries <- 0;
@@ -392,6 +407,10 @@ let create ?(config = default_config) fsd scripts =
       acked_rev = [];
       commit_wait_us = Metrics.dist m "server.commit_wait_us";
       batch_size = Metrics.dist m "server.batch_size";
+      c_reject_queue_full = Metrics.counter m "server.rejects.queue_full";
+      c_reject_backpressure = Metrics.counter m "server.rejects.backpressure";
+      c_retries = Metrics.counter m "server.retries";
+      c_dropped = Metrics.counter m "server.dropped";
     }
   in
   Metrics.gauge m "server.queue_depth" (fun () -> parked_count t);
@@ -428,6 +447,9 @@ let run t =
       (if log_forces = 0 then 0.
        else float_of_int mutations_acked /. float_of_int log_forces);
     total_rejected = total (fun s -> s.rejected);
+    reject_queue_full = Metrics.counter_value t.c_reject_queue_full;
+    reject_backpressure = Metrics.counter_value t.c_reject_backpressure;
+    total_retries = Metrics.counter_value t.c_retries;
     total_dropped = total (fun s -> s.dropped);
     total_errors = total (fun s -> s.errors);
     total_aborted = total (fun s -> if s.aborted = None then 0 else 1);
@@ -497,6 +519,9 @@ let report_json r =
       ("log_forces", Jsonb.Int r.log_forces);
       ("ops_per_force", Jsonb.Float r.ops_per_force);
       ("rejected", Jsonb.Int r.total_rejected);
+      ("rejects_queue_full", Jsonb.Int r.reject_queue_full);
+      ("rejects_backpressure", Jsonb.Int r.reject_backpressure);
+      ("retries", Jsonb.Int r.total_retries);
       ("dropped", Jsonb.Int r.total_dropped);
       ("errors", Jsonb.Int r.total_errors);
       ("aborted", Jsonb.Int r.total_aborted);

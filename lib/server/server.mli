@@ -82,6 +82,9 @@ type report = {
   log_forces : int;  (** all log forces, including mid-op backstops *)
   ops_per_force : float;  (** mutations acked per log force *)
   total_rejected : int;
+  reject_queue_full : int;  (** [server.rejects.queue_full] counter *)
+  reject_backpressure : int;  (** [server.rejects.backpressure] counter *)
+  total_retries : int;  (** [server.retries] counter *)
   total_dropped : int;
   total_errors : int;
   total_aborted : int;  (** sessions terminated by a non-[Fs_error] *)
@@ -99,8 +102,11 @@ type report = {
 val create :
   ?config:config -> Cedar_fsd.Fsd.t -> Cedar_workload.Concurrent.script array -> t
 (** Session [i] runs [scripts.(i)] as client [i]. Registers the
-    [server.queue_depth] gauge and [server.commit_wait_us] /
-    [server.batch_size] distributions in the volume's metrics registry.
+    [server.queue_depth] gauge, the [server.commit_wait_us] /
+    [server.batch_size] distributions, and the admission counters
+    [server.rejects.queue_full], [server.rejects.backpressure],
+    [server.retries] and [server.dropped] in the volume's metrics
+    registry (so [cedar serve --json] and [cedar stats] expose them).
     Raises [Invalid_argument] on an empty script array or a
     non-positive [max_batch]/[queue_cap]. *)
 

@@ -196,6 +196,90 @@ let churn ~client ~ops ~bytes ~think_us ~seed =
   List.rev !acc
 
 (* ------------------------------------------------------------------ *)
+(* The log-wrap churn workload.
+
+   A closed-loop create/overwrite/delete/read mix over a small fixed
+   working set, sized so a sustained run writes many times the log's
+   capacity and the head wraps repeatedly. Each client owns [slots]
+   names under "c<NN>/churn/"; a step picks a slot and either creates a
+   new version of it (an overwrite when the slot is live — the FSD keeps
+   at most [churn_keep] versions), deletes the newest version of a live
+   slot, or reads a live slot. Periodic explicit [Force] steps keep the
+   force cadence dense enough that a crash sweep can land between any
+   two commits.
+
+   The generator tracks each slot's live version depth (capped at
+   [churn_keep], matching the volume's keep truncation) so deletes and
+   reads only ever target names that exist — a clean run must replay
+   with zero client errors, or the post-crash oracle is ambiguous.
+   Generation is deterministic: equal specs give byte-equal scripts. *)
+
+type churn_spec = {
+  slots : int;
+  churn_ops : int;
+  bytes_min : int;
+  bytes_max : int;
+  churn_keep : int;
+  churn_think_us : int;
+  force_every : int;
+  churn_seed : int;
+}
+
+let default_churn =
+  {
+    slots = 12;
+    churn_ops = 400;
+    bytes_min = 256;
+    bytes_max = 2048;
+    churn_keep = 2;
+    churn_think_us = 2_000;
+    force_every = 16;
+    churn_seed = 1;
+  }
+
+let churn_slot_name ~client slot =
+  Printf.sprintf "%s/churn/s%03d" (client_dir client) slot
+
+let churn_client spec ~client =
+  if spec.slots < 1 then invalid_arg "Concurrent.churn_client: slots < 1";
+  if spec.churn_keep < 1 then invalid_arg "Concurrent.churn_client: keep < 1";
+  let rng = Rng.create (spec.churn_seed + (client * 7919)) in
+  let depth = Array.make spec.slots 0 in
+  let acc = ref [] in
+  let mutations = ref 0 in
+  let last_forced = ref 0 in
+  let push op = acc := Op op :: !acc in
+  for i = 0 to spec.churn_ops - 1 do
+    if spec.churn_think_us > 0 then
+      acc := Think (1 + Rng.int rng spec.churn_think_us) :: !acc;
+    let slot = Rng.int rng spec.slots in
+    let name = churn_slot_name ~client slot in
+    let roll = Rng.int rng 100 in
+    if roll < 60 || depth.(slot) = 0 then begin
+      let span = max 1 (spec.bytes_max - spec.bytes_min + 1) in
+      let bytes = spec.bytes_min + Rng.int rng span in
+      push (Create { name; bytes; fill = (client * 131) + i });
+      depth.(slot) <- min (depth.(slot) + 1) spec.churn_keep;
+      incr mutations
+    end
+    else if roll < 85 then begin
+      push (Delete name);
+      depth.(slot) <- depth.(slot) - 1;
+      incr mutations
+    end
+    else push (Read name);
+    if spec.force_every > 0 && !mutations - !last_forced >= spec.force_every
+    then begin
+      last_forced := !mutations;
+      push Force
+    end
+  done;
+  List.rev !acc
+
+let churn_scripts spec ~clients =
+  Array.init clients (fun client -> churn_client spec ~client)
+
+(* ------------------------------------------------------------------ *)
 (* Script files: one step per line for [cedar serve --script].
 
      # comment

@@ -68,6 +68,37 @@ val churn :
   client:int -> ops:int -> bytes:int -> think_us:int -> seed:int -> script
 (** A session of small create/delete metadata traffic. *)
 
+(** {1 The log-wrap churn workload} *)
+
+type churn_spec = {
+  slots : int;  (** distinct names in the client's working set *)
+  churn_ops : int;  (** steps per client (creates/deletes/reads) *)
+  bytes_min : int;
+  bytes_max : int;  (** create payload sizes drawn uniformly in range *)
+  churn_keep : int;
+      (** versions the volume keeps per name — must match the booted
+          [Params.default_keep] so the generator's live-depth model (and
+          so the post-crash oracle) agrees with the file system *)
+  churn_think_us : int;  (** max think time per step; 0 disables *)
+  force_every : int;  (** explicit [Force] every N mutations; 0 = none *)
+  churn_seed : int;
+}
+
+val default_churn : churn_spec
+(** 12 slots, 400 ops, 256–2048-byte payloads, keep 2, a force every 16
+    mutations — on a small test volume one client wraps the log several
+    times. *)
+
+val churn_client : churn_spec -> client:int -> script
+(** One client's closed-loop churn session over its own
+    ["c<NN>/churn/s<SSS>"] slots: ~60% creates (new versions of live
+    slots — overwrites under keep truncation), ~25% deletes of the
+    newest live version, ~15% reads, with per-slot live-depth tracking
+    so no step targets a missing name. Deterministic; raises
+    [Invalid_argument] on a non-positive [slots] or [churn_keep]. *)
+
+val churn_scripts : churn_spec -> clients:int -> script array
+
 (** {1 Script files ([cedar serve --script])} *)
 
 val parse_script : string -> (script, string) result

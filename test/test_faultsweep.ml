@@ -169,6 +169,7 @@ let test_sweep_scavenge_mode () =
         tears = [ Cedar_disk.Device.Tear_none ];
         max_forces = Some 1;
         scavenge = true;
+        workload = F.Reference;
       }
   in
   check bool "swept points" true (s.F.sw_points > 0);

@@ -22,4 +22,5 @@ let () =
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
       ("integration", Test_integration.suite);
+      ("wrap", Test_wrap.suite);
     ]
