@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench serve-smoke faultsweep-smoke wrap-smoke recovery-smoke fmt fmt-check ci clean
+.PHONY: all check build test bench bench-diff serve-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -15,9 +15,9 @@ check: build test
 
 # Reproduce every paper table and regenerate the committed snapshots
 # (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json,
-# BENCH_RECOVERY.json, BENCH_WRAP.json) so reviewers can diff
-# observability, group-commit-scaling, crash-sweep, restart-time, and
-# log-wrap-endurance output.
+# BENCH_RECOVERY.json, BENCH_WRAP.json, BENCH_TIMELINE.json) so
+# reviewers can diff observability, group-commit-scaling, crash-sweep,
+# restart-time, log-wrap-endurance and saturation-sweep output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
@@ -25,6 +25,14 @@ bench:
 	dune exec bench/main.exe -- faultsweep --out BENCH_FAULTSWEEP.json
 	dune exec bench/main.exe -- recovery --out BENCH_RECOVERY.json
 	dune exec bench/main.exe -- wrap --out BENCH_WRAP.json
+	dune exec bench/main.exe -- timeline --out BENCH_TIMELINE.json
+
+# Snapshot drift gate: regenerate every BENCH_*.json into
+# _build/bench-diff/ and structurally compare against the committed
+# copies (timing-flavoured fields get 10% relative tolerance, everything
+# else must match exactly). Exits non-zero on drift.
+bench-diff:
+	dune exec bench/main.exe -- diff
 
 # Determinism smoke: two same-seed 2-client server runs must produce
 # byte-identical JSON reports (the server's core contract).
@@ -71,6 +79,42 @@ recovery-smoke:
 		> /dev/null
 	@echo "recovery-smoke: single-pass replay holds"
 
+# Telemetry smoke: two identical open-loop server runs must write valid,
+# non-trivial (>= 20 samples), byte-identical timeline JSON.
+timeline-smoke:
+	dune build bin/cedar.exe
+	rm -rf _build/timeline-smoke && mkdir -p _build/timeline-smoke
+	./_build/default/bin/cedar.exe mkfs _build/timeline-smoke/vol.img \
+		--geometry small > /dev/null
+	./_build/default/bin/cedar.exe serve _build/timeline-smoke/vol.img \
+		--clients 4 --open-loop 20 --ops 60 \
+		--timeline _build/timeline-smoke/run1.json > /dev/null
+	./_build/default/bin/cedar.exe serve _build/timeline-smoke/vol.img \
+		--clients 4 --open-loop 20 --ops 60 \
+		--timeline _build/timeline-smoke/run2.json > /dev/null
+	cmp _build/timeline-smoke/run1.json _build/timeline-smoke/run2.json
+	@n=$$(grep -c '"at_us"' _build/timeline-smoke/run1.json); \
+	if [ "$$n" -lt 20 ]; then \
+		echo "timeline-smoke: only $$n samples (want >= 20)"; exit 1; fi; \
+	echo "timeline-smoke: $$n samples, valid, deterministic"
+
+# Watch smoke: --watch on a pipe must emit frames as plain text — not a
+# single ANSI escape byte — and stay deterministic run to run.
+watch-smoke:
+	dune build bin/cedar.exe
+	rm -rf _build/watch-smoke && mkdir -p _build/watch-smoke
+	./_build/default/bin/cedar.exe mkfs _build/watch-smoke/vol.img \
+		--geometry small > /dev/null
+	./_build/default/bin/cedar.exe serve _build/watch-smoke/vol.img \
+		--clients 2 --watch > _build/watch-smoke/run1.txt
+	./_build/default/bin/cedar.exe serve _build/watch-smoke/vol.img \
+		--clients 2 --watch > _build/watch-smoke/run2.txt
+	cmp _build/watch-smoke/run1.txt _build/watch-smoke/run2.txt
+	@if LC_ALL=C grep -q "$$(printf '\033')" _build/watch-smoke/run1.txt; then \
+		echo "watch-smoke: ANSI escape codes in non-tty output"; exit 1; fi
+	@grep -q "sat.device_busy" _build/watch-smoke/run1.txt
+	@echo "watch-smoke: plain-text frames, deterministic"
+
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
 	-dune fmt
@@ -82,7 +126,8 @@ fmt-check:
 		echo "fmt-check: ocamlformat not installed, skipping"; \
 	fi
 
-ci: fmt-check check serve-smoke faultsweep-smoke wrap-smoke recovery-smoke
+ci: fmt-check check serve-smoke faultsweep-smoke wrap-smoke recovery-smoke \
+	timeline-smoke watch-smoke bench-diff
 
 clean:
 	dune clean

@@ -16,6 +16,8 @@
      cedar trace vol.img --chrome out.json   export the span tree for Perfetto
      cedar profile vol.img [--json]      latency + group-commit profiles
      cedar serve vol.img --clients N     concurrent sessions over group commit
+     cedar serve vol.img --watch         live telemetry dashboard while serving
+     cedar serve vol.img --open-loop R   Poisson open-loop traffic at R ops/s
      cedar churn [--ops N] [--tiny]      wrap the log under churn, self-verify
      cedar faultsweep [--tear MODE]      crash the server at every sector write
      cedar faultsweep --wrap             crash inside the log's wrap window
@@ -278,17 +280,52 @@ let cmd_scavenge path =
 module Obs = Cedar_obs
 module Script = Cedar_workload.Obs_script
 
+(* Live --watch rendering: one plain-text frame per monitor sample. On a
+   tty each frame repaints the screen; on a pipe frames are appended
+   verbatim with no escape sequences, so redirected output is the
+   deterministic frame sequence itself. *)
+let attach_watch out mon =
+  let tty =
+    try Unix.isatty (Unix.descr_of_out_channel out)
+    with Unix.Unix_error _ -> false
+  in
+  Obs.Monitor.set_on_sample mon (fun s ->
+      if tty then output_string out "\x1b[2J\x1b[H";
+      output_string out
+        (Obs.Timeline.render_frame
+           ~spark:[ "sat.device_busy"; "sat.op_rate_s" ]
+           ~history:(Obs.Monitor.samples mon) s);
+      if not tty then output_char out '\n';
+      flush out)
+
+let write_text path s =
+  if path = "-" then (print_string s; if s = "" || s.[String.length s - 1] <> '\n' then print_newline ())
+  else begin
+    let oc = open_out path in
+    output_string oc s;
+    if s = "" || s.[String.length s - 1] <> '\n' then output_char oc '\n';
+    close_out oc
+  end
+
 let counters_of = function
   | Fsd_vol fs -> Some (Cedar_fsd.Fsd.counters_json fs)
   | Cfs_vol _ -> None
 
 (* Run the scripted workload with tracing on; the volume is NOT saved,
    so the image on disk is untouched by the measurement files. *)
-let cmd_stats path json =
+let cmd_stats path json watch =
   with_volume ~save:false path (fun vol ->
       let ops = ops_of vol in
       let device = ops.Cedar_fsbase.Fs_ops.device in
       Script.warmup ops;
+      if watch then begin
+        match vol with
+        | Cfs_vol _ -> fail "--watch requires an FSD volume (telemetry monitor)"
+        | Fsd_vol fs ->
+          (* frames to stderr under --json so the report stays parseable *)
+          attach_watch (if json then stderr else stdout)
+            (Cedar_fsd.Fsd.enable_monitor fs)
+      end;
       let tr = Device.trace device in
       Obs.Trace.enable tr;
       Script.scripted ops;
@@ -340,14 +377,24 @@ let cmd_trace path limit chrome =
   Obs.Trace.enable (Device.trace device);
   let vol = boot_vol device in
   let ops = ops_of vol in
+  (* Under --chrome an FSD volume also runs the monitor, so the export
+     carries counter tracks alongside the span tree. *)
+  let mon =
+    match (chrome, vol) with
+    | Some _, Fsd_vol fs -> Some (Cedar_fsd.Fsd.enable_monitor fs)
+    | _ -> None
+  in
   Script.warmup ops;
   Script.scripted ops;
   let tr = Device.trace device in
   let entries = Obs.Trace.to_list tr in
   match chrome with
   | Some out ->
+    let samples =
+      match mon with Some m -> Obs.Monitor.samples m | None -> []
+    in
     let oc = open_out out in
-    output_string oc (Obs.Jsonb.to_string (Obs.Export.chrome entries));
+    output_string oc (Obs.Jsonb.to_string (Obs.Export.chrome ~samples entries));
     output_char oc '\n';
     close_out oc;
     Printf.printf
@@ -406,13 +453,15 @@ let cmd_profile path json =
    the cooperative scheduler, sharing group-commit forces (§5.4). The
    image is not saved — serve is a measurement harness like [stats], and
    keeping the image untouched makes same-seed runs byte-comparable. *)
-let cmd_serve path clients script_file seed think_us rounds json =
+let cmd_serve path clients script_file seed think_us rounds json watch open_rate
+    open_ops timeline timeline_csv =
   if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
   if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
   let module C = Cedar_workload.Concurrent in
   let scripts =
-    match script_file with
-    | Some file ->
+    match (script_file, open_rate) with
+    | Some _, Some _ -> fail "--script and --open-loop are mutually exclusive"
+    | Some file, None ->
       if not (Sys.file_exists file) then fail "no such script file: %s" file;
       let ic = open_in_bin file in
       let text = really_input_string ic (in_channel_length ic) in
@@ -420,14 +469,40 @@ let cmd_serve path clients script_file seed think_us rounds json =
       (match C.parse_script text with
       | Error m -> fail "%s: %s" file m
       | Ok s -> Array.init clients (fun client -> C.instantiate s ~client))
-    | None ->
+    | None, Some rate ->
+      if rate <= 0.0 then fail "--open-loop rate must be positive (got %g)" rate;
+      if open_ops < 1 then fail "--ops must be at least 1 (got %d)" open_ops;
+      C.open_loop
+        { C.default_open with C.ol_rate_per_s = rate; ol_ops = open_ops;
+          ol_seed = seed }
+        ~clients
+    | None, None ->
       C.makedo_scripts { C.default_spec with C.seed; think_us; rounds } ~clients
   in
   with_volume ~save:false path (fun vol ->
       match vol with
       | Cfs_vol _ -> fail "serve requires an FSD volume (group commit is FSD-only)"
       | Fsd_vol fs ->
+        let mon =
+          if watch || timeline <> None || timeline_csv <> None then
+            Some (Cedar_fsd.Fsd.enable_monitor fs)
+          else None
+        in
+        (match mon with
+        | Some m when watch ->
+          (* frames to stderr under --json so the report stays parseable *)
+          attach_watch (if json then stderr else stdout) m
+        | Some _ | None -> ());
         let r = Cedar_server.Server.serve fs scripts in
+        (match mon with
+        | None -> ()
+        | Some m ->
+          let samples = Obs.Monitor.samples m in
+          Option.iter
+            (fun p -> write_text p (Obs.Jsonb.to_string_pretty (Obs.Timeline.to_json samples)))
+            timeline;
+          Option.iter (fun p -> write_text p (Obs.Timeline.to_csv samples))
+            timeline_csv);
         let module S = Cedar_server.Server in
         if json then
           print_endline (Obs.Jsonb.to_string_pretty (S.report_json r))
@@ -621,12 +696,21 @@ let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit one JSON object instead of tables")
   in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "render a live telemetry frame per monitor sample while the \
+             workload runs (plain text on a pipe; with --json, frames go to \
+             stderr)")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "run the fixed scripted workload with tracing on and print per-op I/O \
           and log-activity tables (the image is not modified)")
-    Term.(const cmd_stats $ img $ json)
+    Term.(const cmd_stats $ img $ json $ watch)
 
 let trace_cmd =
   let limit =
@@ -697,6 +781,49 @@ let serve_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit the deterministic JSON report")
   in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "render a live telemetry dashboard (one frame per \
+             monitor sample: counter deltas, saturation gauges, commit-wait \
+             percentiles, sparklines). Plain text on a pipe — no escape \
+             codes; with --json, frames go to stderr")
+  in
+  let open_loop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"RATE"
+          ~doc:
+            "replace the closed-loop make/do workload with deterministic \
+             open-loop traffic: Poisson arrivals at $(docv) ops/s aggregate, \
+             pinned to the virtual clock (a session behind schedule issues \
+             immediately), heavy-tailed create sizes and zipfian hot-directory \
+             names")
+  in
+  let open_ops =
+    Arg.(
+      value
+      & opt int
+          Cedar_workload.Concurrent.default_open.Cedar_workload.Concurrent.ol_ops
+      & info [ "ops" ] ~docv:"N" ~doc:"total open-loop arrivals across all clients")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"PATH"
+          ~doc:"write the telemetry timeline as JSON to $(docv) (- for stdout)")
+  in
+  let timeline_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline-csv" ] ~docv:"PATH"
+          ~doc:"write the telemetry timeline as CSV to $(docv) (- for stdout)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -704,7 +831,9 @@ let serve_cmd =
           deterministic cooperative scheduler, batching their transactions \
           into shared group-commit forces (the image is not modified; \
           same-seed runs produce byte-identical reports)")
-    Term.(const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json)
+    Term.(
+      const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json
+      $ watch $ open_loop $ open_ops $ timeline $ timeline_csv)
 
 let churn_cmd =
   let clients =

@@ -5,6 +5,7 @@ open Cedar_fsbase
 module B = Cedar_btree.Btree.Make (Fnt_store)
 module Trace = Cedar_obs.Trace
 module Metrics = Cedar_obs.Metrics
+module Monitor = Cedar_obs.Monitor
 
 type vam_source = Vam_loaded | Vam_reconstructed | Vam_replayed
 
@@ -92,6 +93,9 @@ type t = {
   mutable scrub_page_cursor : int; (* next FNT page pair to verify *)
   mutable scrub_key_cursor : string; (* next name-table key whose leader to verify *)
   mutable bb_next : (int64 * int) option; (* next black-box (gen, slot) *)
+  mutable monitor : Monitor.t option;
+      (* telemetry sampler; [None] (the default) keeps the hot path at
+         one branch with zero allocation, same discipline as the trace *)
   boot_count : int;
   meters : meters;
 }
@@ -173,13 +177,17 @@ let emit t ev =
   if Trace.enabled tr then Trace.emit tr ~at:(now t) ev
 
 (* Wrap a public operation in a trace span so the device I/Os it issues
-   nest under it. The disabled case is the single-branch hot path. *)
+   nest under it. The disabled case is the single-branch hot path. With
+   only the monitor on, no span is opened but op latency is still
+   recorded so the sampler's windowed percentiles have a series. *)
 let traced t ~op ~name f =
   let tr = Device.trace t.device in
-  if not (Trace.enabled tr) then f ()
+  if (not (Trace.enabled tr)) && t.monitor == None then f ()
   else begin
     let t0 = now t in
-    let id = Trace.begin_span tr ~at:t0 ~op ~name in
+    let id =
+      if Trace.enabled tr then Trace.begin_span tr ~at:t0 ~op ~name else 0
+    in
     match f () with
     | v ->
       Stats.add t.meters.m_op_us (float_of_int (now t - t0));
@@ -473,6 +481,7 @@ let info_of name version (e : Entry.t) =
 
 let insert_entry t ~key (e : Entry.t) =
   t.mutation_seq <- t.mutation_seq + 1;
+  emit t (Trace.Mutation { seq = t.mutation_seq });
   match B.insert t.tree ~key ~value:(Entry.encode e) with
   | () -> ()
   | exception Invalid_argument _ ->
@@ -585,7 +594,10 @@ let read_file_bytes t name version (e : Entry.t) =
 let op_done t ?(pages = 0) () =
   Metrics.inc t.meters.m_ops;
   cpu t (t.params.Params.cpu_op_us + (pages * t.params.Params.cpu_page_us));
-  maybe_commit t
+  maybe_commit t;
+  (* Single-threaded callers never reach [run_due_demons]; polling here
+     too keeps the sampling cadence without a scheduler. *)
+  match t.monitor with None -> () | Some m -> Monitor.maybe_sample m
 
 let split_leader_runs runs =
   match runs with
@@ -613,6 +625,7 @@ let delete_version_unchecked t name version =
   | Some v ->
     let e = decode_entry name v in
     t.mutation_seq <- t.mutation_seq + 1;
+    emit t (Trace.Mutation { seq = t.mutation_seq });
     ignore (B.delete t.tree key : bool);
     spoil_saved_vam t;
     if e.Entry.anchor >= 0 then begin
@@ -1080,7 +1093,8 @@ let run_due_demons t =
   require_live t;
   maybe_commit t;
   maybe_home_writes t;
-  maybe_scrub t
+  maybe_scrub t;
+  match t.monitor with None -> () | Some m -> Monitor.maybe_sample m
 
 let tick t ~us =
   require_live t;
@@ -1126,6 +1140,63 @@ let durable_seq t = t.durable_seq
 let log_third_fill t = Log.third_fill t.log
 
 let commit_due_at t = t.last_force + t.params.Params.commit_interval_us
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry monitor                                                   *)
+
+let monitor t = t.monitor
+
+(* The saturation gauges: derived per-interval figures that answer "was
+   the system saturated during this 100ms?" rather than "how much work
+   has it done since boot". All are pure functions of the interval's
+   counter deltas and current gauge values, so samples stay
+   deterministic. Server-side names ("server.acked", ...) read as zero
+   until a server registers them — the monitor works unchanged under
+   single-threaded callers. *)
+let enable_monitor ?ring ?window ?interval_us t =
+  require_live t;
+  let interval =
+    match interval_us with
+    | Some us -> us
+    | None -> t.params.Params.monitor_interval_us
+  in
+  let reg = Device.metrics t.device in
+  let m =
+    Monitor.create ?ring ?window ~interval_us:interval
+      ~now:(fun () -> now t)
+      reg
+  in
+  let per_second n v = float_of_int n *. 1e6 /. float_of_int (max 1 v.Monitor.dt_us) in
+  Monitor.derive m "sat.device_busy" (fun v ->
+      float_of_int (v.Monitor.delta "device.busy_us")
+      /. float_of_int (max 1 v.Monitor.dt_us));
+  Monitor.derive m "sat.log_third_fill" (fun _ -> Log.third_fill t.log);
+  Monitor.derive m "sat.queue_depth" (fun v ->
+      float_of_int (v.Monitor.value "server.queue_depth"));
+  Monitor.derive m "sat.ops_per_force" (fun v ->
+      let forces = v.Monitor.delta "fsd.forces" in
+      if forces = 0 then 0.0
+      else float_of_int (v.Monitor.delta "server.acked") /. float_of_int forces);
+  Monitor.derive m "sat.op_rate_s" (fun v -> per_second (v.Monitor.delta "fsd.ops") v);
+  Monitor.derive m "sat.reject_rate_s" (fun v ->
+      per_second
+        (v.Monitor.delta "server.rejects.queue_full"
+        + v.Monitor.delta "server.rejects.backpressure")
+        v);
+  Monitor.derive m "sat.retry_rate_s" (fun v ->
+      per_second (v.Monitor.delta "server.retries") v);
+  Monitor.derive m "sat.dropped_rate_s" (fun v ->
+      per_second (v.Monitor.delta "server.dropped") v);
+  Monitor.derive m "sat.reclaim_stall_rate_s" (fun v ->
+      per_second (v.Monitor.delta "fsd.reclaim_stalls") v);
+  Monitor.derive m "sat.home_write_burst_rate_s" (fun v ->
+      per_second (v.Monitor.delta "fsd.home_write_bursts") v);
+  Monitor.watch_dist m "server.commit_wait_us";
+  Monitor.watch_dist m "fsd.op_us";
+  t.monitor <- Some m;
+  m
+
+let disable_monitor t = t.monitor <- None
 
 let save_vam t =
   require_live t;
@@ -1354,6 +1425,7 @@ let boot ?params device =
       scrub_page_cursor = 0;
       scrub_key_cursor = "";
       bb_next = None;
+      monitor = None;
       boot_count;
       meters = mk_meters (Device.metrics device);
     }

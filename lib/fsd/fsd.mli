@@ -191,6 +191,39 @@ val commit_due_at : t -> int
 val save_vam : t -> unit
 (** Idle-period VAM save (valid until the next metadata mutation). *)
 
+(** {1 Telemetry monitor}
+
+    A {!Cedar_obs.Monitor} sampling the metrics registry on the
+    [Params.monitor_interval_us] cadence, polled from
+    {!run_due_demons} and at op boundaries. Off by default; while off
+    the polls cost one branch on an option and allocate nothing, the
+    same discipline as the trace. *)
+
+val enable_monitor :
+  ?ring:int -> ?window:int -> ?interval_us:int -> t -> Cedar_obs.Monitor.t
+(** Attach (or replace) the telemetry monitor and return it.
+    [interval_us] defaults to [Params.monitor_interval_us]; [ring] and
+    [window] are passed to {!Cedar_obs.Monitor.create}. Beyond the
+    registry's raw counters and gauges, every sample computes the
+    derived saturation gauges:
+
+    - [sat.device_busy] — device busy-us this interval / interval;
+    - [sat.log_third_fill] — {!log_third_fill} at sample time;
+    - [sat.queue_depth] — the server admission queue depth gauge;
+    - [sat.ops_per_force] — acked server ops per non-empty force this
+      interval (batcher occupancy), 0 when no force landed;
+    - [sat.op_rate_s] — FSD ops per second;
+    - [sat.reject_rate_s], [sat.retry_rate_s], [sat.dropped_rate_s] —
+      admission rejects (both kinds), retries and drops per second;
+    - [sat.reclaim_stall_rate_s], [sat.home_write_burst_rate_s];
+
+    and watches the [server.commit_wait_us] and [fsd.op_us]
+    distributions for sliding-window p50/p90/p99. Server-side names
+    read as zero until a server registers them. *)
+
+val disable_monitor : t -> unit
+val monitor : t -> Cedar_obs.Monitor.t option
+
 (** {1 Introspection} *)
 
 val ops : t -> Cedar_fsbase.Fs_ops.t

@@ -20,6 +20,7 @@ type t = {
   blackbox_every_n_forces : int;
   home_write_fill : float;
   home_writes_per_pass : int;
+  monitor_interval_us : int;
 }
 
 (* Black-box flight-recorder region: two generation slots right after the
@@ -51,6 +52,7 @@ let default =
     blackbox_every_n_forces = 1;
     home_write_fill = 0.5;
     home_writes_per_pass = 4;
+    monitor_interval_us = 100_000;
   }
 
 let for_geometry g =
@@ -97,6 +99,8 @@ let validate g t =
   else if t.home_write_fill < 0.0 || t.home_write_fill > 1.0 then
     Error "home_write_fill outside [0, 1]"
   else if t.home_writes_per_pass < 0 then Error "negative home-write batch size"
+  else if t.monitor_interval_us < 1 then
+    Error "monitor_interval_us must be at least 1"
   else if t.fnt_page_sectors < 1 || t.fnt_page_sectors > 16 then
     Error "fnt_page_sectors out of range"
   else if t.log_sectors < 3 + (3 * max_record) then

@@ -51,6 +51,11 @@ type t = {
   home_writes_per_pass : int;
       (** page/leader home-write budget per background demon pass; 0
           disables the demon. *)
+  monitor_interval_us : int;
+      (** telemetry sampling cadence for the monitor demon once it is
+          enabled via [Fsd.enable_monitor]; the demon itself is off by
+          default and costs one branch per demon dispatch while off.
+          Must be at least 1. *)
 }
 
 val blackbox_slot_sectors : int

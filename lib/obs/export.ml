@@ -17,6 +17,9 @@ let tid_meta = 4
    [tid_session_base + NN], as do that session's commit waits. *)
 let tid_session_base = 16
 
+(* Monitor counter tracks ("C" phase) live on their own tid. *)
+let tid_counters = 5
+
 let session_tid op =
   let prefix = "session" in
   let pl = String.length prefix in
@@ -47,7 +50,11 @@ let instant ~name ~cat ~ts ~tid args =
   base ~name ~cat ~ph:"i" ~ts ~tid
     (("s", Jsonb.Str "t") :: (match args with [] -> [] | a -> [ ("args", Jsonb.Obj a) ]))
 
-let chrome entries =
+let counter ~name ~ts value =
+  base ~name ~cat:"monitor" ~ph:"C" ~ts ~tid:tid_counters
+    [ ("args", Jsonb.Obj [ ("value", value) ]) ]
+
+let chrome ?(samples = []) entries =
   let begins : (int, Trace.entry) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (e : Trace.entry) ->
@@ -163,7 +170,11 @@ let chrome entries =
         note_session tid;
         push
           (complete ~name:"commit-wait" ~cat:"session" ~ts:(ts - us) ~dur:us ~tid
-             [ ("client", Jsonb.Int client) ]))
+             [ ("client", Jsonb.Int client) ])
+      | Trace.Mutation { seq } ->
+        push
+          (instant ~name:"mutation" ~cat:"fsd" ~ts ~tid:tid_meta
+             [ ("seq", Jsonb.Int seq) ]))
     entries;
   (* Spans still open when the capture ended (in-flight at a crash). *)
   Hashtbl.iter
@@ -176,6 +187,19 @@ let chrome entries =
              [ ("name", Jsonb.Str name) ])
       | _ -> ())
     begins;
+  (* Monitor samples become counter ("C") tracks: one per derived
+     saturation gauge, one per watched dist's windowed p99. *)
+  List.iter
+    (fun (s : Monitor.sample) ->
+      let ts = s.Monitor.at_us in
+      List.iter
+        (fun (name, v) -> push (counter ~name ~ts (Jsonb.Float v)))
+        s.Monitor.derived;
+      List.iter
+        (fun (name, (w : Monitor.window_stat)) ->
+          push (counter ~name:(name ^ ".p99") ~ts (Jsonb.Float w.Monitor.w_p99)))
+        s.Monitor.dists)
+    samples;
   let sorted =
     List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
   in

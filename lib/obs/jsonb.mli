@@ -19,3 +19,10 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space indented rendering, for files meant to be read by humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse strict JSON back into the tree. Number literals keep their
+    lexical kind — no '.', 'e' or 'E' parses as [Int], anything else as
+    [Float] — so a render/parse round trip preserves the distinction
+    (the bench-diff comparator treats an Int/Float flip as drift).
+    Errors carry a byte offset. *)

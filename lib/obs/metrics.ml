@@ -28,6 +28,19 @@ let dist t name =
 
 let register_dist t name s = Hashtbl.replace t.tbl name (Dist s)
 
+let kinds t =
+  Hashtbl.fold
+    (fun name ins acc ->
+      let k =
+        match ins with
+        | Counter _ -> `Counter
+        | Gauge _ -> `Gauge
+        | Dist _ -> `Dist
+      in
+      (name, k) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let read t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (Counter c) -> Some !c

@@ -39,6 +39,11 @@ val dist : t -> string -> Cedar_util.Stats.t
 val register_dist : t -> string -> Cedar_util.Stats.t -> unit
 (** Register an existing series (e.g. [Log.stats].record_sizes). *)
 
+val kinds : t -> (string * [ `Counter | `Gauge | `Dist ]) list
+(** Every registered instrument with its kind, sorted by name. Lets a
+    sampler treat counters (delta per interval) differently from gauges
+    (point-in-time value) without guessing from the name. *)
+
 val read : t -> string -> int option
 (** Current value of the counter or gauge registered under [name];
     [None] for unknown names and distributions. *)

@@ -20,12 +20,29 @@ type op_row = {
   sectors_written : int;
   device_us : int;  (** simulated time inside device commands *)
   op_us : int;  (** total wall-clock (virtual) across calls *)
+  amortised_ios : float;
+      (** [reads + writes] after moving each group-commit log append's
+          device write from the span that ran the force to the ops whose
+          {!Trace.Mutation}s the batch carried, pro-rata by mutation
+          count — so a batched [delete] no longer reads as zero-I/O.
+          Totals across rows are conserved. *)
+  amortised_writes : float;
+  amortised_sectors_written : float;
 }
 
 val per_op : Trace.entry list -> op_row list
 (** One row per distinct operation label, sorted by label. Device
     events are attributed to their innermost enclosing span; events
-    outside any span are collected under the pseudo-op ["(none)"]. *)
+    outside any span are collected under the pseudo-op ["(none)"].
+
+    The [amortised_*] columns re-attribute group-commit log I/O: raw
+    attribution charges every append to whichever span executed the
+    force, so ops that merely parked in the batch read as zero-I/O. At
+    every non-empty {!Trace.Log_force}, the appends accumulated since
+    the previous one are re-charged to the labels that emitted
+    {!Trace.Mutation} events in that window, proportionally to their
+    mutation counts; forces whose window recorded no mutations keep the
+    raw attribution. *)
 
 type log_row = {
   records : int;  (** log records appended *)

@@ -1,0 +1,31 @@
+(** Serialization and terminal rendering for {!Monitor} samples.
+
+    All three emitters are pure functions of their inputs, so they
+    inherit the monitor's determinism contract: two identical runs
+    produce byte-identical JSON, CSV and frames. *)
+
+val sample_json : Monitor.sample -> Jsonb.t
+(** One sample as [{at_us, dt_us, counters, gauges, derived, dists}]
+    with each group an object in the sample's (name-sorted) order. *)
+
+val to_json : Monitor.sample list -> Jsonb.t
+(** The whole timeline as a JSON array, oldest sample first. *)
+
+val to_csv : Monitor.sample list -> string
+(** One row per sample. Fixed [at_us,dt_us] columns, then the union
+    across all samples of counter ([c.NAME]), gauge ([g.NAME]), derived
+    ([d.NAME]) and dist ([NAME.n/.p50/.p90/.p99]) columns, each group
+    name-sorted; cells a sample lacks are empty. *)
+
+val sparkline : ?width:int -> float list -> string
+(** The series (oldest first; newest [width] points kept, default 48)
+    as eight-level UTF-8 block glyphs scaled to its own min/max. Plain
+    text — no ANSI escape sequences. *)
+
+val render_frame :
+  ?spark:string list -> history:Monitor.sample list -> Monitor.sample -> string
+(** One dashboard frame for the given sample: header line, nonzero
+    counter deltas, gauges, derived saturation gauges, watched dist
+    window percentiles, and a sparkline over [history] for each derived
+    gauge named in [spark]. Plain text only; cursor control (clearing
+    between frames on a tty) is the caller's business. *)

@@ -22,6 +22,7 @@ type event =
   | Session_wait of { client : int; us : int }
   | Home_write_burst of { third : int; pages : int; leaders : int }
   | Reclaim_stall of { third : int; pinned : int }
+  | Mutation of { seq : int }
 
 type entry = { seq : int; span : int; at_us : int; event : event }
 
@@ -207,6 +208,9 @@ let encode_event w = function
     W.u8 w 16;
     W.u8 w third;
     W.u16 w pinned
+  | Mutation { seq } ->
+    W.u8 w 17;
+    W.i64 w seq
 
 let decode_event r =
   match R.u8 r with
@@ -279,6 +283,7 @@ let decode_event r =
     let third = R.u8 r in
     let pinned = R.u16 r in
     Reclaim_stall { third; pinned }
+  | 17 -> Mutation { seq = R.i64 r }
   | n ->
     raise (Cedar_util.Bytebuf.Decode_error (Printf.sprintf "trace event tag %d" n))
 
@@ -330,6 +335,7 @@ let pp_event ppf = function
       pages leaders
   | Reclaim_stall { third; pinned } ->
     Format.fprintf ppf "reclaim-stall third=%d pinned=%d" third pinned
+  | Mutation { seq } -> Format.fprintf ppf "mutation seq=%d" seq
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%d span=%d t=%.3fms %a" e.seq e.span

@@ -60,6 +60,13 @@ type event =
       (** Reclamation of [third] found [pinned] modified pages holding no
           committed image; the reclaim was refused with a typed error
           instead of home-writing uncommitted state. *)
+  | Mutation of { seq : int }
+      (** A namespace mutation (create/delete entry) reached the volume
+          under the enclosing op span; [seq] is [Fsd.mutation_seq] after
+          the mutation. The group-commit force that later logs it runs
+          under a different span, so this event is what lets a replayer
+          amortise force-interval log I/O back over the ops of the
+          batch ({!Tables}' [amortised_*] columns). *)
 
 type entry = {
   seq : int;  (** monotonically increasing; also the span id of [Op_begin] *)

@@ -34,7 +34,9 @@ let mut_of_op = function
 
 let muts_of_script script =
   List.filter_map
-    (function Concurrent.Op op -> mut_of_op op | Concurrent.Think _ -> None)
+    (function
+      | Concurrent.Op op -> mut_of_op op
+      | Concurrent.Think _ | Concurrent.At _ -> None)
     script
 
 let mut_name = function Mcreate { name; _ } -> name | Mdelete name -> name

@@ -98,6 +98,7 @@ type t = {
   c_reject_backpressure : Metrics.counter;
   c_retries : Metrics.counter;
   c_dropped : Metrics.counter;
+  c_acked : Metrics.counter;
 }
 
 type session_report = {
@@ -173,6 +174,7 @@ let poll_wakes t =
           s.wait_total_us <- s.wait_total_us + wait;
           if wait > s.wait_max_us then s.wait_max_us <- wait;
           s.mutations <- s.mutations + 1;
+          Metrics.inc t.c_acked;
           Trace.emit (Fsd.trace t.fsd) ~at
             (Trace.Session_wait { client = s.client; us = wait });
           t.acked_rev <- (s.client, op) :: t.acked_rev;
@@ -284,6 +286,7 @@ let run_op t s op =
        mutation: acknowledge with zero commit wait, no park. *)
     begin
       s.mutations <- s.mutations + 1;
+      Metrics.inc t.c_acked;
       Stats.add t.commit_wait_us 0.;
       t.acked_rev <- (s.client, op) :: t.acked_rev;
       match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ()
@@ -298,6 +301,12 @@ let step t s =
     | Concurrent.Think us ->
       s.steps <- rest;
       s.state <- Thinking { until = now t + us }
+    | Concurrent.At at ->
+      (* Open-loop arrival: wait until the absolute deadline, but a
+         session already behind schedule issues immediately — offered
+         load is pinned to the clock, so the backlog is preserved. *)
+      s.steps <- rest;
+      if at > now t then s.state <- Thinking { until = at }
     | Concurrent.Op op -> (
       match admission_reject t s op with
       | Some _ when s.retries < t.cfg.admission_retries ->
@@ -351,12 +360,19 @@ let all_done t =
    waiting for the commit demon; the next interesting instant is the
    earliest of those. *)
 let next_event_time t =
+  let demons =
+    (* An attached telemetry monitor wakes the scheduler too, so samples
+       land on their cadence instead of at the next commit/think edge. *)
+    match Fsd.monitor t.fsd with
+    | Some m -> min (Fsd.commit_due_at t.fsd) (Cedar_obs.Monitor.due_at m)
+    | None -> Fsd.commit_due_at t.fsd
+  in
   Array.fold_left
     (fun acc s ->
       match s.state with
       | Thinking { until } -> min acc until
       | Parked _ | Ready | Done -> acc)
-    (Fsd.commit_due_at t.fsd) t.sessions
+    demons t.sessions
 
 (* All remaining work is parked sessions whose scripts are exhausted:
    nothing new can join the batch, so flush it now rather than sleeping
@@ -411,6 +427,7 @@ let create ?(config = default_config) fsd scripts =
       c_reject_backpressure = Metrics.counter m "server.rejects.backpressure";
       c_retries = Metrics.counter m "server.retries";
       c_dropped = Metrics.counter m "server.dropped";
+      c_acked = Metrics.counter m "server.acked";
     }
   in
   Metrics.gauge m "server.queue_depth" (fun () -> parked_count t);

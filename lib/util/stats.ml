@@ -33,6 +33,16 @@ let sorted t =
     t.sorted <- Some a;
     a
 
+let recent t k =
+  (* values is newest-first, so the first [k] entries are the most
+     recent additions (still newest-first). *)
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | v :: rest -> v :: take (k - 1) rest
+  in
+  take k t.values
+
 let percentile t p =
   if t.n = 0 then invalid_arg "Stats.percentile: empty";
   let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in

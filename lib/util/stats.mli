@@ -10,6 +10,11 @@ val min : t -> float
 val max : t -> float
 val total : t -> float
 
+val recent : t -> int -> float list
+(** [recent t k] is the most recent [min k (n t)] values added, newest
+    first. O(k); lets a sampler pull only the values added since its
+    last visit. *)
+
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [0,1]; nearest-rank, so [percentile t 0.0]
     is the minimum and [percentile t 1.0] the maximum. Values of [p]

@@ -16,7 +16,7 @@ type op =
   | List of string
   | Force
 
-type step = Think of int | Op of op
+type step = Think of int | At of int | Op of op
 type script = step list
 
 let content ~fill n = Bytes.init n (fun i -> Char.chr ((i + fill) mod 251))
@@ -280,6 +280,127 @@ let churn_scripts spec ~clients =
   Array.init clients (fun client -> churn_client spec ~client)
 
 (* ------------------------------------------------------------------ *)
+(* The open-loop production workload.
+
+   Closed-loop scripts can never saturate the server: each client waits
+   for its previous op before thinking about the next, so offered load
+   self-limits to the service rate. Here arrivals come from one global
+   Poisson process at a configured aggregate rate — [At t] pins each
+   op's earliest issue time to the virtual clock regardless of how far
+   behind the server is, so when service is slower than arrival the
+   backlog (queue depth, commit wait, rejects) grows and the telemetry
+   shows the saturation knee.
+
+   Shape knobs follow production traffic folklore: heavy-tailed
+   (bounded Pareto) file sizes, and zipfian popularity both over a few
+   hot directories and over the name slots within each, so a minority
+   of names absorbs the majority of the churn. Each arrival is assigned
+   uniformly to a client session. Per-(client, dir, slot) version depth
+   is tracked exactly like the churn generator (capped at [ol_keep],
+   which must match the volume's keep truncation) so deletes and reads
+   only target live names — a clean run replays with zero client
+   errors. Generation is deterministic: equal specs give byte-equal
+   script arrays. *)
+
+type open_spec = {
+  ol_rate_per_s : float;  (* aggregate arrival rate over all clients *)
+  ol_ops : int;  (* total arrivals *)
+  ol_bytes_min : int;
+  ol_bytes_max : int;
+  ol_alpha : float;  (* Pareto tail index; smaller = heavier tail *)
+  ol_hot_dirs : int;
+  ol_slots : int;  (* name slots per hot directory *)
+  ol_zipf_s : float;  (* zipf exponent over dirs and slots *)
+  ol_keep : int;
+  ol_seed : int;
+}
+
+let default_open =
+  {
+    ol_rate_per_s = 20.0;
+    ol_ops = 400;
+    ol_bytes_min = 384;
+    ol_bytes_max = 16_384;
+    ol_alpha = 1.3;
+    ol_hot_dirs = 4;
+    ol_slots = 16;
+    ol_zipf_s = 1.1;
+    ol_keep = 2;
+    ol_seed = 1;
+  }
+
+let open_name ~client dir slot =
+  Printf.sprintf "%s/hot%d/f%03d" (client_dir client) dir slot
+
+(* Draw from {0..n-1} with P(i) proportional to 1/(i+1)^s. *)
+let zipf_cumulative n s =
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. x;
+      !acc)
+    w
+
+let zipf_draw rng cum =
+  let total = cum.(Array.length cum - 1) in
+  let u = Rng.float rng total in
+  let rec find i = if u < cum.(i) then i else find (i + 1) in
+  find 0
+
+let open_loop spec ~clients =
+  if clients < 1 then invalid_arg "Concurrent.open_loop: clients < 1";
+  if spec.ol_rate_per_s <= 0.0 then
+    invalid_arg "Concurrent.open_loop: rate <= 0";
+  if spec.ol_hot_dirs < 1 || spec.ol_slots < 1 then
+    invalid_arg "Concurrent.open_loop: hot_dirs/slots < 1";
+  if spec.ol_keep < 1 then invalid_arg "Concurrent.open_loop: keep < 1";
+  if spec.ol_bytes_min < 1 || spec.ol_bytes_max < spec.ol_bytes_min then
+    invalid_arg "Concurrent.open_loop: bytes range";
+  let rng = Rng.create spec.ol_seed in
+  let dir_cum = zipf_cumulative spec.ol_hot_dirs spec.ol_zipf_s in
+  let slot_cum = zipf_cumulative spec.ol_slots spec.ol_zipf_s in
+  let depth = Array.init clients (fun _ ->
+      Array.make_matrix spec.ol_hot_dirs spec.ol_slots 0)
+  in
+  let scripts = Array.make clients [] in
+  let t = ref 0.0 in
+  for i = 0 to spec.ol_ops - 1 do
+    (* Exponential inter-arrival time of the aggregate Poisson stream. *)
+    let u = Rng.float rng 1.0 in
+    t := !t +. (-.log (1.0 -. u) /. spec.ol_rate_per_s *. 1e6);
+    let client = Rng.int rng clients in
+    let dir = zipf_draw rng dir_cum in
+    let slot = zipf_draw rng slot_cum in
+    let name = open_name ~client dir slot in
+    let d = depth.(client).(dir) in
+    let roll = Rng.int rng 100 in
+    let op =
+      if roll < 70 || d.(slot) = 0 then begin
+        (* Bounded Pareto size: heavy tail, capped at [ol_bytes_max]. *)
+        let v = Rng.float rng 1.0 in
+        let raw =
+          float_of_int spec.ol_bytes_min
+          *. Float.pow (1.0 -. v) (-1.0 /. spec.ol_alpha)
+        in
+        let bytes =
+          min spec.ol_bytes_max
+            (max spec.ol_bytes_min (int_of_float raw))
+        in
+        d.(slot) <- min (d.(slot) + 1) spec.ol_keep;
+        Create { name; bytes; fill = (client * 131) + i }
+      end
+      else if roll < 85 then begin
+        d.(slot) <- d.(slot) - 1;
+        Delete name
+      end
+      else Read name
+    in
+    scripts.(client) <- Op op :: At (int_of_float !t) :: scripts.(client)
+  done;
+  Array.map List.rev scripts
+
+(* ------------------------------------------------------------------ *)
 (* Script files: one step per line for [cedar serve --script].
 
      # comment
@@ -317,6 +438,7 @@ let parse_line lineno line =
   match words with
   | [] -> Ok None
   | [ "think"; us ] -> int_of us (fun n -> Ok (Some (Think n)))
+  | [ "at"; us ] -> int_of us (fun n -> Ok (Some (At n)))
   | [ "create"; name; bytes ] ->
     int_of bytes (fun n -> Ok (Some (Op (Create { name; bytes = n; fill = lineno }))))
   | [ "open"; name ] -> Ok (Some (Op (Open name)))
@@ -363,7 +485,7 @@ let substitute ~client name =
 let instantiate script ~client =
   List.map
     (function
-      | Think _ as s -> s
+      | (Think _ | At _) as s -> s
       | Op op ->
         Op
           (match op with

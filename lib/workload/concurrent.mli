@@ -16,7 +16,14 @@ type op =
   | List of string
   | Force  (** explicit client force of the log (§5.4) *)
 
-type step = Think of int  (** client-side pause in microseconds *) | Op of op
+type step =
+  | Think of int  (** client-side pause in microseconds *)
+  | At of int
+      (** open-loop arrival: do not issue the next op before this
+          absolute virtual time. A session already past the deadline
+          issues immediately — the backlog is the point. *)
+  | Op of op
+
 type script = step list
 
 val content : fill:int -> int -> bytes
@@ -99,12 +106,47 @@ val churn_client : churn_spec -> client:int -> script
 
 val churn_scripts : churn_spec -> clients:int -> script array
 
+(** {1 The open-loop production workload} *)
+
+type open_spec = {
+  ol_rate_per_s : float;
+      (** aggregate Poisson arrival rate across all clients, ops/s *)
+  ol_ops : int;  (** total arrivals across all clients *)
+  ol_bytes_min : int;
+  ol_bytes_max : int;  (** bounded-Pareto size range *)
+  ol_alpha : float;  (** Pareto tail index; smaller = heavier tail *)
+  ol_hot_dirs : int;  (** hot directories, zipf-popular *)
+  ol_slots : int;  (** name slots per hot directory, zipf-popular *)
+  ol_zipf_s : float;  (** zipf exponent over dirs and slots *)
+  ol_keep : int;
+      (** must match the booted [Params.default_keep], as in
+          {!churn_spec} *)
+  ol_seed : int;
+}
+
+val default_open : open_spec
+(** 20 ops/s aggregate, 400 arrivals, 384–16384-byte bounded-Pareto
+    sizes (α = 1.3), 4 hot dirs × 16 slots at zipf 1.1, keep 2. *)
+
+val open_loop : open_spec -> clients:int -> script array
+(** Deterministic open-loop traffic: one global Poisson stream at
+    [ol_rate_per_s], each arrival assigned uniformly to a client as an
+    [At arrival; Op op] pair — so offered load is pinned to the virtual
+    clock instead of self-limiting to the service rate, and past the
+    saturation knee the backlog grows. The mix is ~70% creates
+    (heavy-tailed sizes), ~15% deletes, ~15% reads over zipfian
+    hot-directory/slot names, with per-(client, dir, slot) live-depth
+    tracking so a clean run replays with zero client errors. Raises
+    [Invalid_argument] on non-positive rate/dirs/slots/keep or an empty
+    byte range. *)
+
 (** {1 Script files ([cedar serve --script])} *)
 
 val parse_script : string -> (script, string) result
-(** Parse the one-step-per-line format ([think US], [create NAME BYTES],
-    [open NAME], [read NAME], [read-page NAME PAGE], [delete NAME],
-    [list PREFIX], [force]; [#] comments). *)
+(** Parse the one-step-per-line format ([think US], [at US],
+    [create NAME BYTES], [open NAME], [read NAME],
+    [read-page NAME PAGE], [delete NAME], [list PREFIX], [force];
+    [#] comments). *)
 
 val instantiate : script -> client:int -> script
 (** Replace every ["{c}"] in names with the client's directory ("c00",

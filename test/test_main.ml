@@ -23,4 +23,5 @@ let () =
       ("server", Test_server.suite);
       ("integration", Test_integration.suite);
       ("wrap", Test_wrap.suite);
+      ("monitor", Test_monitor.suite);
     ]

@@ -277,6 +277,38 @@ let test_per_op_hand_counts () =
     (2 * Params.blackbox_slot_sectors)
     bb.Tables.sectors_written
 
+(* Amortised attribution: force-interval log I/O redistributed across
+   the batch's mutating ops. Redistribution only moves write I/O
+   between rows, so the totals must be conserved exactly, and the ops
+   that are free under raw attribution (delete — pure metadata) must
+   show their share of the log record they ride in. *)
+let test_amortised_attribution () =
+  let entries = scripted_entries () in
+  let rows = Tables.per_op entries in
+  let row op = List.find (fun r -> r.Tables.op = op) rows in
+  let fsum f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
+  let isum f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let fl = Alcotest.float 1e-6 in
+  check fl "write count conserved"
+    (float_of_int (isum (fun r -> r.Tables.writes)))
+    (fsum (fun r -> r.Tables.amortised_writes));
+  check fl "sectors written conserved"
+    (float_of_int (isum (fun r -> r.Tables.sectors_written)))
+    (fsum (fun r -> r.Tables.amortised_sectors_written));
+  let d = row "delete" in
+  check int "delete raw I/O stays zero" 0 (d.Tables.reads + d.Tables.writes);
+  check bool "delete carries its share of the force" true
+    (d.Tables.amortised_ios > 0.0
+    && d.Tables.amortised_sectors_written > 0.0);
+  let f = row "force" in
+  check bool "force surrenders its append writes" true
+    (f.Tables.amortised_writes < float_of_int f.Tables.writes);
+  (* reads are untouched by amortisation *)
+  let r = row "read_all" in
+  check fl "read row: amortised = raw"
+    (float_of_int (r.Tables.reads + r.Tables.writes))
+    r.Tables.amortised_ios
+
 let test_log_activity () =
   let entries = scripted_entries () in
   let log = Tables.log_activity entries in
@@ -318,6 +350,7 @@ let suite =
     ("json builder", `Quick, test_jsonb);
     ("op event sequences (§4)", `Quick, test_op_event_sequences);
     ("per-op I/O hand counts (Tables 3/4)", `Quick, test_per_op_hand_counts);
+    ("amortised force attribution", `Quick, test_amortised_attribution);
     ("log activity (Table 2)", `Quick, test_log_activity);
     ("recovery phases traced (Table 5)", `Quick, test_recovery_phases_traced);
   ]
