@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench bench-diff serve-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke fmt fmt-check ci clean
+.PHONY: all check build test bench bench-diff serve-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke why-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -15,9 +15,10 @@ check: build test
 
 # Reproduce every paper table and regenerate the committed snapshots
 # (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json,
-# BENCH_RECOVERY.json, BENCH_WRAP.json, BENCH_TIMELINE.json) so
-# reviewers can diff observability, group-commit-scaling, crash-sweep,
-# restart-time, log-wrap-endurance and saturation-sweep output.
+# BENCH_RECOVERY.json, BENCH_WRAP.json, BENCH_TIMELINE.json,
+# BENCH_BREAKDOWN.json) so reviewers can diff observability,
+# group-commit-scaling, crash-sweep, restart-time, log-wrap-endurance,
+# saturation-sweep and latency-anatomy output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
@@ -26,6 +27,7 @@ bench:
 	dune exec bench/main.exe -- recovery --out BENCH_RECOVERY.json
 	dune exec bench/main.exe -- wrap --out BENCH_WRAP.json
 	dune exec bench/main.exe -- timeline --out BENCH_TIMELINE.json
+	dune exec bench/main.exe -- breakdown --out BENCH_BREAKDOWN.json
 
 # Snapshot drift gate: regenerate every BENCH_*.json into
 # _build/bench-diff/ and structurally compare against the committed
@@ -115,6 +117,23 @@ watch-smoke:
 	@grep -q "sat.device_busy" _build/watch-smoke/run1.txt
 	@echo "watch-smoke: plain-text frames, deterministic"
 
+# Latency-anatomy smoke: cedar why exits non-zero if any op's phase
+# vector fails the conservation invariant, so the runs themselves are
+# the correctness check; the two JSON anatomies must also be
+# byte-identical (same seed, same blame, same microseconds).
+why-smoke:
+	dune build bin/cedar.exe
+	rm -rf _build/why-smoke && mkdir -p _build/why-smoke
+	./_build/default/bin/cedar.exe mkfs _build/why-smoke/vol.img \
+		--geometry small > /dev/null
+	./_build/default/bin/cedar.exe why _build/why-smoke/vol.img \
+		--clients 4 --json > _build/why-smoke/run1.json
+	./_build/default/bin/cedar.exe why _build/why-smoke/vol.img \
+		--clients 4 --json > _build/why-smoke/run2.json
+	cmp _build/why-smoke/run1.json _build/why-smoke/run2.json
+	@grep -q '"all_conserved": true' _build/why-smoke/run1.json
+	@echo "why-smoke: conserved, deterministic"
+
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
 	-dune fmt
@@ -127,7 +146,7 @@ fmt-check:
 	fi
 
 ci: fmt-check check serve-smoke faultsweep-smoke wrap-smoke recovery-smoke \
-	timeline-smoke watch-smoke bench-diff
+	timeline-smoke watch-smoke why-smoke bench-diff
 
 clean:
 	dune clean

@@ -8,7 +8,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery-model|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|recovery|wrap|timeline|diff|all] [--micro] [--out PATH]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery-model|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|recovery|wrap|timeline|breakdown|diff|all] [--micro] [--out PATH]";
   exit 2
 
 let () =
@@ -49,6 +49,7 @@ let () =
     | "recovery" -> Bench_recovery.run ?out ()
     | "wrap" -> Bench_wrap.run ?out ()
     | "timeline" -> Bench_timeline.run ?out ()
+    | "breakdown" -> Bench_breakdown.run ?out ()
     | "diff" -> Bench_diff.run ?out ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()

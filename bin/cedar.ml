@@ -293,7 +293,7 @@ let attach_watch out mon =
       if tty then output_string out "\x1b[2J\x1b[H";
       output_string out
         (Obs.Timeline.render_frame
-           ~spark:[ "sat.device_busy"; "sat.op_rate_s" ]
+           ~spark:[ "sat.device_busy"; "sat.op_rate_s"; "sat.reject_rate_s" ]
            ~history:(Obs.Monitor.samples mon) s);
       if not tty then output_char out '\n';
       flush out)
@@ -536,6 +536,65 @@ let cmd_serve path clients script_file seed think_us rounds json watch open_rate
                 s.S.r_errors
                 (float_of_int s.S.r_wait_max_us /. 1000.))
             r.S.per_session
+        end)
+
+(* Latency anatomy: run a server workload with lifecycle tracing on,
+   fold the trace into conserved per-op phase vectors (Critpath) and
+   report which phase dominates the tail. The image is not saved, so
+   same-seed runs are byte-comparable — `why --json` is deterministic. *)
+let cmd_why path clients seed think_us rounds open_rate open_ops churn json
+    op_filter top chrome =
+  if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
+  if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
+  if top < 1 then fail "--top must be at least 1 (got %d)" top;
+  let module C = Cedar_workload.Concurrent in
+  let scripts =
+    match (open_rate, churn) with
+    | Some _, true -> fail "--open-loop and --churn are mutually exclusive"
+    | Some rate, false ->
+      if rate <= 0.0 then fail "--open-loop rate must be positive (got %g)" rate;
+      if open_ops < 1 then fail "--ops must be at least 1 (got %d)" open_ops;
+      C.open_loop
+        { C.default_open with C.ol_rate_per_s = rate; ol_ops = open_ops;
+          ol_seed = seed }
+        ~clients
+    | None, true ->
+      C.churn_scripts
+        { C.default_churn with C.churn_ops = open_ops; churn_seed = seed }
+        ~clients
+    | None, false ->
+      C.makedo_scripts { C.default_spec with C.seed; think_us; rounds } ~clients
+  in
+  with_volume ~save:false path (fun vol ->
+      match vol with
+      | Cfs_vol _ -> fail "why requires an FSD volume (server lifecycles)"
+      | Fsd_vol fs ->
+        let tr = Cedar_fsd.Fsd.trace fs in
+        (* A generous ring: a dropped lifecycle start would turn into an
+           orphan and weaken the conservation statement. *)
+        Obs.Trace.enable ~capacity:(1 lsl 20) tr;
+        ignore (Cedar_server.Server.serve fs scripts : Cedar_server.Server.report);
+        Obs.Trace.disable tr;
+        let entries = Obs.Trace.to_list tr in
+        let anatomy = Obs.Critpath.fold entries in
+        (match chrome with
+        | None -> ()
+        | Some out ->
+          let oc = open_out out in
+          output_string oc (Obs.Jsonb.to_string (Obs.Export.chrome entries));
+          close_out oc;
+          Printf.eprintf "wrote Chrome trace to %s\n" out);
+        if json then
+          print_endline
+            (Obs.Jsonb.to_string_pretty
+               (Obs.Critpath.to_json ?op:op_filter ~top anatomy))
+        else
+          Format.printf "@[<v>%a@]@."
+            (fun ppf -> Obs.Critpath.pp ?op:op_filter ~top ppf)
+            anatomy;
+        if not anatomy.Obs.Critpath.all_conserved then begin
+          prerr_endline "cedar: phase conservation violated (trace malformed)";
+          exit 1
         end)
 
 (* Systematic crash-injection sweep over the server path. Runs on fresh
@@ -835,6 +894,91 @@ let serve_cmd =
       const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json
       $ watch $ open_loop $ open_ops $ timeline $ timeline_csv)
 
+let why_cmd =
+  let clients =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"number of concurrent client sessions")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"workload seed")
+  in
+  let think =
+    Arg.(
+      value & opt int 50_000
+      & info [ "think" ] ~docv:"US"
+          ~doc:"mean per-step client think time in simulated microseconds")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"R" ~doc:"make/do build passes per client")
+  in
+  let open_loop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"RATE"
+          ~doc:
+            "drive deterministic open-loop Poisson traffic at $(docv) ops/s \
+             aggregate instead of the closed-loop make/do workload")
+  in
+  let open_ops =
+    Arg.(
+      value
+      & opt int
+          Cedar_workload.Concurrent.default_open.Cedar_workload.Concurrent.ol_ops
+      & info [ "ops" ] ~docv:"N"
+          ~doc:
+            "total open-loop arrivals (with --open-loop) or churn steps per \
+             client (with --churn)")
+  in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"drive the log-wrap churn workload instead of make/do")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the deterministic JSON anatomy")
+  in
+  let op_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "op" ] ~docv:"TYPE"
+          ~doc:
+            "restrict the report to one op kind (create, open, read, \
+             read_page, delete, list, force)")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"show the $(docv) slowest ops in full")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:
+            "also write the traced run as Chrome trace-event JSON — per-session \
+             tracks with queue/admission phase slices nested around each \
+             executing span — for about://tracing or Perfetto")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "run a server workload with lifecycle tracing on and explain where \
+          each op's latency went: per-op phase vectors (queue, admission \
+          retries, execute with its device seek/transfer split, log append, \
+          parked-for-force) that sum exactly to end-to-end latency, per-kind \
+          p50/p90/p99 and the phase to blame for the p99 tail (the image is \
+          not modified; exits non-zero if conservation is violated)")
+    Term.(
+      const cmd_why $ img $ clients $ seed $ think $ rounds $ open_loop
+      $ open_ops $ churn $ json $ op_filter $ top $ chrome)
+
 let churn_cmd =
   let clients =
     Arg.(
@@ -990,6 +1134,7 @@ let () =
             trace_cmd;
             profile_cmd;
             serve_cmd;
+            why_cmd;
             churn_cmd;
             faultsweep_cmd;
             blackbox_cmd;

@@ -1183,6 +1183,13 @@ let enable_monitor ?ring ?window ?interval_us t =
         (v.Monitor.delta "server.rejects.queue_full"
         + v.Monitor.delta "server.rejects.backpressure")
         v);
+  (* Split admission-reject rates: overload shows up as queue_full, a
+     filling log third as backpressure — distinct remedies, so they get
+     distinct live rows. *)
+  Monitor.derive m "sat.reject_queue_full_s" (fun v ->
+      per_second (v.Monitor.delta "server.rejects.queue_full") v);
+  Monitor.derive m "sat.reject_backpressure_s" (fun v ->
+      per_second (v.Monitor.delta "server.rejects.backpressure") v);
   Monitor.derive m "sat.retry_rate_s" (fun v ->
       per_second (v.Monitor.delta "server.retries") v);
   Monitor.derive m "sat.dropped_rate_s" (fun v ->
@@ -1191,6 +1198,21 @@ let enable_monitor ?ring ?window ?interval_us t =
       per_second (v.Monitor.delta "fsd.reclaim_stalls") v);
   Monitor.derive m "sat.home_write_burst_rate_s" (fun v ->
       per_second (v.Monitor.delta "fsd.home_write_bursts") v);
+  (* Per-phase occupancy gauges (the live face of the latency anatomy):
+     accumulated phase-microseconds per elapsed microsecond, i.e. the
+     average number of ops simultaneously inside that phase over the
+     sample window. The server maintains the underlying counters with
+     tracing off; standalone (serverless) runs read 0. *)
+  let phase_occupancy name counter =
+    Monitor.derive m name (fun v ->
+        float_of_int (v.Monitor.delta counter)
+        /. float_of_int (max 1 v.Monitor.dt_us))
+  in
+  phase_occupancy "sat.phase_queue" "server.phase.queue_us";
+  phase_occupancy "sat.phase_admission" "server.phase.admission_us";
+  phase_occupancy "sat.phase_execute" "server.phase.execute_us";
+  phase_occupancy "sat.phase_append" "server.phase.append_us";
+  phase_occupancy "sat.phase_parked" "server.phase.parked_us";
   Monitor.watch_dist m "server.commit_wait_us";
   Monitor.watch_dist m "fsd.op_us";
   t.monitor <- Some m;

@@ -68,11 +68,33 @@ let chrome ?(samples = []) entries =
   let note_session tid =
     if not (List.mem tid !session_tids) then session_tids := tid :: !session_tids
   in
+  (* Lifecycle phase slices: Op_submitted closes the queue wait and opens
+     the admission window, which the session span's Op_begin (execute
+     start) or an Op_dropped closes — so each session track nests
+     queue / admission / sessionNN (execute) / commit-wait slices. *)
+  let submits : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let close_admission ~client ~ts =
+    match Hashtbl.find_opt submits client with
+    | Some t0 ->
+      Hashtbl.remove submits client;
+      if ts > t0 then
+        let tid = tid_session_base + client in
+        note_session tid;
+        push
+          (complete ~name:"admission" ~cat:"phase" ~ts:t0 ~dur:(ts - t0) ~tid
+             [ ("client", Jsonb.Int client) ])
+    | None -> ()
+  in
   List.iter
     (fun (e : Trace.entry) ->
       let ts = e.Trace.at_us in
       match e.Trace.event with
-      | Trace.Op_begin _ -> () (* emitted as "X" at the matching end *)
+      | Trace.Op_begin { op; _ } ->
+        (* Emitted as "X" at the matching end; a session span's start
+           also closes the op's admission window. *)
+        (match session_tid op with
+        | Some tid -> close_admission ~client:(tid - tid_session_base) ~ts
+        | None -> ())
       | Trace.Op_end { op; us } -> begin
         match Hashtbl.find_opt begins e.Trace.span with
         | Some b ->
@@ -174,7 +196,35 @@ let chrome ?(samples = []) entries =
       | Trace.Mutation { seq } ->
         push
           (instant ~name:"mutation" ~cat:"fsd" ~ts ~tid:tid_meta
-             [ ("seq", Jsonb.Int seq) ]))
+             [ ("seq", Jsonb.Int seq) ])
+      | Trace.Op_submitted { client; opseq; op; arrived_us } ->
+        let tid = tid_session_base + client in
+        note_session tid;
+        if ts > arrived_us then
+          push
+            (complete ~name:"queue" ~cat:"phase" ~ts:arrived_us
+               ~dur:(ts - arrived_us) ~tid
+               [ ("opseq", Jsonb.Int opseq); ("op", Jsonb.Str op) ]);
+        Hashtbl.replace submits client ts
+      | Trace.Op_rejected { client; opseq; why } ->
+        let tid = tid_session_base + client in
+        note_session tid;
+        push
+          (instant ~name:("reject:" ^ why) ~cat:"phase" ~ts ~tid
+             [ ("opseq", Jsonb.Int opseq) ])
+      | Trace.Op_dropped { client; opseq; retries } ->
+        close_admission ~client ~ts;
+        let tid = tid_session_base + client in
+        note_session tid;
+        push
+          (instant ~name:"dropped" ~cat:"phase" ~ts ~tid
+             [ ("opseq", Jsonb.Int opseq); ("retries", Jsonb.Int retries) ])
+      | Trace.Op_acked { client; opseq } ->
+        let tid = tid_session_base + client in
+        note_session tid;
+        push
+          (instant ~name:"acked" ~cat:"phase" ~ts ~tid
+             [ ("opseq", Jsonb.Int opseq) ]))
     entries;
   (* Spans still open when the capture ended (in-flight at a crash). *)
   Hashtbl.iter

@@ -23,6 +23,10 @@ type event =
   | Home_write_burst of { third : int; pages : int; leaders : int }
   | Reclaim_stall of { third : int; pinned : int }
   | Mutation of { seq : int }
+  | Op_submitted of { client : int; opseq : int; op : string; arrived_us : int }
+  | Op_rejected of { client : int; opseq : int; why : string }
+  | Op_dropped of { client : int; opseq : int; retries : int }
+  | Op_acked of { client : int; opseq : int }
 
 type entry = { seq : int; span : int; at_us : int; event : event }
 
@@ -211,6 +215,26 @@ let encode_event w = function
   | Mutation { seq } ->
     W.u8 w 17;
     W.i64 w seq
+  | Op_submitted { client; opseq; op; arrived_us } ->
+    W.u8 w 18;
+    W.u16 w client;
+    W.u32 w opseq;
+    W.string w op;
+    W.i64 w arrived_us
+  | Op_rejected { client; opseq; why } ->
+    W.u8 w 19;
+    W.u16 w client;
+    W.u32 w opseq;
+    W.string w why
+  | Op_dropped { client; opseq; retries } ->
+    W.u8 w 20;
+    W.u16 w client;
+    W.u32 w opseq;
+    W.u8 w retries
+  | Op_acked { client; opseq } ->
+    W.u8 w 21;
+    W.u16 w client;
+    W.u32 w opseq
 
 let decode_event r =
   match R.u8 r with
@@ -284,6 +308,26 @@ let decode_event r =
     let pinned = R.u16 r in
     Reclaim_stall { third; pinned }
   | 17 -> Mutation { seq = R.i64 r }
+  | 18 ->
+    let client = R.u16 r in
+    let opseq = R.u32 r in
+    let op = R.string r in
+    let arrived_us = R.i64 r in
+    Op_submitted { client; opseq; op; arrived_us }
+  | 19 ->
+    let client = R.u16 r in
+    let opseq = R.u32 r in
+    let why = R.string r in
+    Op_rejected { client; opseq; why }
+  | 20 ->
+    let client = R.u16 r in
+    let opseq = R.u32 r in
+    let retries = R.u8 r in
+    Op_dropped { client; opseq; retries }
+  | 21 ->
+    let client = R.u16 r in
+    let opseq = R.u32 r in
+    Op_acked { client; opseq }
   | n ->
     raise (Cedar_util.Bytebuf.Decode_error (Printf.sprintf "trace event tag %d" n))
 
@@ -336,6 +380,16 @@ let pp_event ppf = function
   | Reclaim_stall { third; pinned } ->
     Format.fprintf ppf "reclaim-stall third=%d pinned=%d" third pinned
   | Mutation { seq } -> Format.fprintf ppf "mutation seq=%d" seq
+  | Op_submitted { client; opseq; op; arrived_us } ->
+    Format.fprintf ppf "op-submitted client=%d opseq=%d op=%s arrived=%d" client
+      opseq op arrived_us
+  | Op_rejected { client; opseq; why } ->
+    Format.fprintf ppf "op-rejected client=%d opseq=%d why=%s" client opseq why
+  | Op_dropped { client; opseq; retries } ->
+    Format.fprintf ppf "op-dropped client=%d opseq=%d retries=%d" client opseq
+      retries
+  | Op_acked { client; opseq } ->
+    Format.fprintf ppf "op-acked client=%d opseq=%d" client opseq
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%d span=%d t=%.3fms %a" e.seq e.span

@@ -67,6 +67,24 @@ type event =
           under a different span, so this event is what lets a replayer
           amortise force-interval log I/O back over the ops of the
           batch ({!Tables}' [amortised_*] columns). *)
+  | Op_submitted of { client : int; opseq : int; op : string; arrived_us : int }
+      (** Lifecycle (see {!Critpath}): the server's first admission
+          attempt for client [client]'s [opseq]-th scripted op. The gap
+          [at_us - arrived_us] is the scheduler/queue wait between the
+          op becoming runnable (think deadline, open-loop arrival, or
+          previous ack) and the scheduler reaching it. *)
+  | Op_rejected of { client : int; opseq : int; why : string }
+      (** One rejected admission attempt ([why] is ["queue_full"] or
+          ["backpressure"]); the retry window runs from this instant to
+          the op's next event. *)
+  | Op_dropped of { client : int; opseq : int; retries : int }
+      (** Admission retries exhausted; the op's lifecycle ends here
+          without executing. *)
+  | Op_acked of { client : int; opseq : int }
+      (** The op's lifecycle end: at execute completion for reads,
+          errors and already-durable mutations, or at the post-force
+          wake for parked mutations (the session's [Op_end] ... this
+          event is the parked-for-force window). *)
 
 type entry = {
   seq : int;  (** monotonically increasing; also the span id of [Op_begin] *)

@@ -70,6 +70,7 @@ type state =
 
 type session = {
   client : int;
+  label : string;  (* "sessionNN", precomputed: the op-span label *)
   mutable steps : Concurrent.step list;
   mutable state : state;
   mutable ops : int;
@@ -81,6 +82,12 @@ type session = {
   mutable aborted : string option;  (* non-Fs_error exception text *)
   mutable wait_total_us : int;
   mutable wait_max_us : int;
+  (* Latency-anatomy bookkeeping (plain ints: maintained even with
+     tracing off, so the per-phase monitor gauges always read). *)
+  mutable opseq : int;  (* lifecycle number of the op at script head *)
+  mutable arrival_us : int;  (* when that op became runnable *)
+  mutable t_submitted : int;  (* first admission attempt of current op *)
+  mutable t_exec_end : int;  (* Fsd.submit returned; park window starts *)
 }
 
 type t = {
@@ -91,6 +98,7 @@ type t = {
   mutable cursor : int;  (* round-robin scan start *)
   mutable last_durable : int;
   mutable forces : int;  (* server-initiated (time/size/explicit) *)
+  mutable last_force_us : int;  (* duration of the last server force *)
   mutable acked_rev : (int * Concurrent.op) list;  (* ack journal, newest first *)
   commit_wait_us : Stats.t;
   batch_size : Stats.t;
@@ -99,6 +107,15 @@ type t = {
   c_retries : Metrics.counter;
   c_dropped : Metrics.counter;
   c_acked : Metrics.counter;
+  (* Cumulative per-phase microseconds across all ops: the online (no
+     trace needed) side of the latency anatomy, read by the monitor's
+     sat.phase_* rate gauges. The trace-based Critpath fold is the
+     per-op precise version of the same decomposition. *)
+  c_phase_queue_us : Metrics.counter;
+  c_phase_admission_us : Metrics.counter;
+  c_phase_execute_us : Metrics.counter;
+  c_phase_append_us : Metrics.counter;
+  c_phase_parked_us : Metrics.counter;
 }
 
 type session_report = {
@@ -152,7 +169,9 @@ let parked_count t =
 let force_now t =
   t.forces <- t.forces + 1;
   (match t.cfg.on_force with Some f -> f t.forces | None -> ());
-  Fsd.force t.fsd
+  let t0 = now t in
+  Fsd.force t.fsd;
+  t.last_force_us <- now t - t0
 
 (* Wake every parked session the last force covered. One durable
    advance = one batch; its size is the number of sessions released
@@ -175,8 +194,23 @@ let poll_wakes t =
           if wait > s.wait_max_us then s.wait_max_us <- wait;
           s.mutations <- s.mutations + 1;
           Metrics.inc t.c_acked;
-          Trace.emit (Fsd.trace t.fsd) ~at
-            (Trace.Session_wait { client = s.client; us = wait });
+          (* Phase split of the park window: the tail that overlaps the
+             covering force's own device writes is "append" (the op's
+             share of log I/O latency); the head is pure parked-for-force
+             wait. Online approximation: the last server force's
+             duration; Critpath computes the exact overlap from force
+             spans in the trace. *)
+          let append = if wait < t.last_force_us then wait else t.last_force_us in
+          Metrics.add t.c_phase_append_us append;
+          Metrics.add t.c_phase_parked_us (wait - append);
+          let tr = Fsd.trace t.fsd in
+          if Trace.enabled tr then begin
+            Trace.emit tr ~at
+              (Trace.Session_wait { client = s.client; us = wait });
+            Trace.emit tr ~at
+              (Trace.Op_acked { client = s.client; opseq = s.opseq })
+          end;
+          s.arrival_us <- at;
           t.acked_rev <- (s.client, op) :: t.acked_rev;
           (match t.cfg.on_ack with
           | Some f -> f ~client:s.client ~op
@@ -201,8 +235,6 @@ let schedule_point t =
 
 (* ------------------------------------------------------------------ *)
 (* Session stepping. *)
-
-let session_op_label s = Printf.sprintf "session%02d" s.client
 
 let exec_op t (op : Concurrent.op) =
   match op with
@@ -256,9 +288,15 @@ let admission_reject t (s : session) (op : Concurrent.op) =
 let run_op t s op =
   s.ops <- s.ops + 1;
   let tr = Fsd.trace t.fsd in
+  let t_start = now t in
+  (* Admission is over: everything since the first attempt was retry
+     windows. [begin_span] is guarded so a tracing-off run performs no
+     allocation on this path (the label is precomputed per session). *)
+  Metrics.add t.c_phase_admission_us (t_start - s.t_submitted);
   let span =
-    Trace.begin_span tr ~at:(now t) ~op:(session_op_label s)
-      ~name:(Concurrent.op_name op)
+    if Trace.enabled tr then
+      Trace.begin_span tr ~at:t_start ~op:s.label ~name:(Concurrent.op_name op)
+    else 0
   in
   let token =
     Fun.protect
@@ -279,8 +317,20 @@ let run_op t s op =
           s.state <- Done;
           Fsd.always_durable)
   in
+  let t_end = now t in
+  s.t_exec_end <- t_end;
+  Metrics.add t.c_phase_execute_us (t_end - t_start);
+  let ack_now () =
+    if Trace.enabled tr then
+      Trace.emit tr ~at:t_end
+        (Trace.Op_acked { client = s.client; opseq = s.opseq });
+    s.arrival_us <- t_end
+  in
   if s.state = Done then ()
-  else if token = Fsd.always_durable then ()
+  else if token = Fsd.always_durable then
+    (* Reads, lists, explicit forces and client errors: the lifecycle
+       ends at execute completion, no park window. *)
+    ack_now ()
   else if Fsd.token_durable t.fsd token then
     (* A mid-op force (the bulk-trigger backstop) already covered the
        mutation: acknowledge with zero commit wait, no park. *)
@@ -288,10 +338,15 @@ let run_op t s op =
       s.mutations <- s.mutations + 1;
       Metrics.inc t.c_acked;
       Stats.add t.commit_wait_us 0.;
+      ack_now ();
       t.acked_rev <- (s.client, op) :: t.acked_rev;
       match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ()
     end
-  else s.state <- Parked { token; since = now t; op }
+  else s.state <- Parked { token; since = t_end; op }
+
+let reject_label = function
+  | Queue_full _ -> "queue_full"
+  | Backpressure _ -> "backpressure"
 
 let step t s =
   match s.steps with
@@ -300,27 +355,65 @@ let step t s =
     match step with
     | Concurrent.Think us ->
       s.steps <- rest;
-      s.state <- Thinking { until = now t + us }
+      let until = now t + us in
+      s.state <- Thinking { until };
+      (* The next op becomes runnable when the think ends; scheduler
+         delay past that deadline is its queue wait. *)
+      s.arrival_us <- until
     | Concurrent.At at ->
       (* Open-loop arrival: wait until the absolute deadline, but a
          session already behind schedule issues immediately — offered
          load is pinned to the clock, so the backlog is preserved. *)
       s.steps <- rest;
-      if at > now t then s.state <- Thinking { until = at }
+      if at > now t then begin
+        s.state <- Thinking { until = at };
+        s.arrival_us <- at
+      end
+      (* else: behind schedule — arrival_us stays at the previous op's
+         completion; the backlog time counts as queue wait. *)
     | Concurrent.Op op -> (
+      if s.retries = 0 then begin
+        (* First admission attempt of a new lifecycle. *)
+        s.opseq <- s.opseq + 1;
+        s.t_submitted <- now t;
+        Metrics.add t.c_phase_queue_us (now t - s.arrival_us);
+        let tr = Fsd.trace t.fsd in
+        if Trace.enabled tr then
+          Trace.emit tr ~at:(now t)
+            (Trace.Op_submitted
+               {
+                 client = s.client;
+                 opseq = s.opseq;
+                 op = Concurrent.op_kind op;
+                 arrived_us = s.arrival_us;
+               })
+      end;
       match admission_reject t s op with
-      | Some _ when s.retries < t.cfg.admission_retries ->
+      | Some e when s.retries < t.cfg.admission_retries ->
         (* Leave the step at the head of the script and retry once the
            next commit opportunity has had a chance to drain the queue —
            a reject must never silently drop the mutation. *)
         s.retries <- s.retries + 1;
         Metrics.inc t.c_retries;
+        let tr = Fsd.trace t.fsd in
+        if Trace.enabled tr then
+          Trace.emit tr ~at:(now t)
+            (Trace.Op_rejected
+               { client = s.client; opseq = s.opseq; why = reject_label e });
         s.state <- Thinking { until = max (now t + 1) (Fsd.commit_due_at t.fsd) }
       | Some _ ->
-        (* Retries exhausted: give up on this step, but account for it. *)
+        (* Retries exhausted: give up on this step, but account for it.
+           The whole submitted->dropped window was admission time. *)
+        let retries = s.retries in
         s.retries <- 0;
         s.dropped <- s.dropped + 1;
         Metrics.inc t.c_dropped;
+        Metrics.add t.c_phase_admission_us (now t - s.t_submitted);
+        let tr = Fsd.trace t.fsd in
+        if Trace.enabled tr then
+          Trace.emit tr ~at:(now t)
+            (Trace.Op_dropped { client = s.client; opseq = s.opseq; retries });
+        s.arrival_us <- now t;
         s.steps <- rest
       | None ->
         s.retries <- 0;
@@ -391,11 +484,13 @@ let create ?(config = default_config) fsd scripts =
   if Array.length scripts = 0 then invalid_arg "Server.create: no scripts";
   if config.max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
   if config.queue_cap < 1 then invalid_arg "Server.create: queue_cap < 1";
+  let t0 = Simclock.now (Cedar_disk.Device.clock (Fsd.device fsd)) in
   let sessions =
     Array.mapi
       (fun client steps ->
         {
           client;
+          label = Printf.sprintf "session%02d" client;
           steps;
           state = Ready;
           ops = 0;
@@ -407,6 +502,10 @@ let create ?(config = default_config) fsd scripts =
           aborted = None;
           wait_total_us = 0;
           wait_max_us = 0;
+          opseq = 0;
+          arrival_us = t0;
+          t_submitted = t0;
+          t_exec_end = t0;
         })
       scripts
   in
@@ -420,6 +519,7 @@ let create ?(config = default_config) fsd scripts =
       cursor = 0;
       last_durable = Fsd.durable_seq fsd;
       forces = 0;
+      last_force_us = 0;
       acked_rev = [];
       commit_wait_us = Metrics.dist m "server.commit_wait_us";
       batch_size = Metrics.dist m "server.batch_size";
@@ -428,6 +528,11 @@ let create ?(config = default_config) fsd scripts =
       c_retries = Metrics.counter m "server.retries";
       c_dropped = Metrics.counter m "server.dropped";
       c_acked = Metrics.counter m "server.acked";
+      c_phase_queue_us = Metrics.counter m "server.phase.queue_us";
+      c_phase_admission_us = Metrics.counter m "server.phase.admission_us";
+      c_phase_execute_us = Metrics.counter m "server.phase.execute_us";
+      c_phase_append_us = Metrics.counter m "server.phase.append_us";
+      c_phase_parked_us = Metrics.counter m "server.phase.parked_us";
     }
   in
   Metrics.gauge m "server.queue_depth" (fun () -> parked_count t);

@@ -41,6 +41,17 @@ let mutates = function
   | Create _ | Delete _ -> true
   | Open _ | Read _ | Read_page _ | List _ | Force -> false
 
+(* Constant literals on purpose: the server's lifecycle-trace hot path
+   evaluates this with tracing off, and must not allocate there. *)
+let op_kind = function
+  | Create _ -> "create"
+  | Open _ -> "open"
+  | Read _ -> "read"
+  | Read_page _ -> "read_page"
+  | Delete _ -> "delete"
+  | List _ -> "list"
+  | Force -> "force"
+
 (* ------------------------------------------------------------------ *)
 (* The §7 make/do workload, one client's worth.
 

@@ -31,6 +31,11 @@ val content : fill:int -> int -> bytes
 
 val pp_op : Format.formatter -> op -> unit
 val op_name : op -> string
+
+(** The operation's type as a constant label ("create", "open", "read",
+    "read_page", "delete", "list", "force") — the key latency anatomy
+    aggregates by. Never allocates. *)
+val op_kind : op -> string
 val mutates : op -> bool
 (** Whether the operation leaves log-pending metadata (create/delete) —
     the ops whose sessions park on the group-commit batcher. *)

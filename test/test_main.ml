@@ -24,4 +24,5 @@ let () =
       ("integration", Test_integration.suite);
       ("wrap", Test_wrap.suite);
       ("monitor", Test_monitor.suite);
+      ("critpath", Test_critpath.suite);
     ]
