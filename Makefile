@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench bench-diff serve-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke why-smoke fmt fmt-check ci clean
+.PHONY: all check build test bench bench-diff serve-smoke volumes-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke why-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -16,9 +16,10 @@ check: build test
 # Reproduce every paper table and regenerate the committed snapshots
 # (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json,
 # BENCH_RECOVERY.json, BENCH_WRAP.json, BENCH_TIMELINE.json,
-# BENCH_BREAKDOWN.json) so reviewers can diff observability,
-# group-commit-scaling, crash-sweep, restart-time, log-wrap-endurance,
-# saturation-sweep and latency-anatomy output.
+# BENCH_BREAKDOWN.json, BENCH_VOLUMES.json) so reviewers can diff
+# observability, group-commit-scaling, crash-sweep, restart-time,
+# log-wrap-endurance, saturation-sweep, latency-anatomy and
+# multi-volume-scale-out output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
@@ -28,6 +29,7 @@ bench:
 	dune exec bench/main.exe -- wrap --out BENCH_WRAP.json
 	dune exec bench/main.exe -- timeline --out BENCH_TIMELINE.json
 	dune exec bench/main.exe -- breakdown --out BENCH_BREAKDOWN.json
+	dune exec bench/main.exe -- volumes --out BENCH_VOLUMES.json
 
 # Snapshot drift gate: regenerate every BENCH_*.json into
 # _build/bench-diff/ and structurally compare against the committed
@@ -48,6 +50,20 @@ serve-smoke:
 		--clients 2 --json > _build/serve-smoke/run2.json
 	cmp _build/serve-smoke/run1.json _build/serve-smoke/run2.json
 	@echo "serve-smoke: deterministic"
+
+# Multi-volume determinism smoke: two same-seed 2-volume sharded server
+# runs (fresh in-memory volumes, no image) must produce byte-identical
+# JSON reports, and the report must carry the per-volume array.
+volumes-smoke:
+	dune build bin/cedar.exe
+	rm -rf _build/volumes-smoke && mkdir -p _build/volumes-smoke
+	./_build/default/bin/cedar.exe serve --volumes 2 --clients 4 \
+		--json > _build/volumes-smoke/run1.json
+	./_build/default/bin/cedar.exe serve --volumes 2 --clients 4 \
+		--json > _build/volumes-smoke/run2.json
+	cmp _build/volumes-smoke/run1.json _build/volumes-smoke/run2.json
+	@grep -q '"volumes"' _build/volumes-smoke/run1.json
+	@echo "volumes-smoke: deterministic"
 
 # Crash-injection smoke: kill the 2-client server at every sector write
 # of the first three force intervals, once per tear mode, and reboot each
@@ -145,8 +161,8 @@ fmt-check:
 		echo "fmt-check: ocamlformat not installed, skipping"; \
 	fi
 
-ci: fmt-check check serve-smoke faultsweep-smoke wrap-smoke recovery-smoke \
-	timeline-smoke watch-smoke why-smoke bench-diff
+ci: fmt-check check serve-smoke volumes-smoke faultsweep-smoke wrap-smoke \
+	recovery-smoke timeline-smoke watch-smoke why-smoke bench-diff
 
 clean:
 	dune clean

@@ -18,6 +18,7 @@
      cedar serve vol.img --clients N     concurrent sessions over group commit
      cedar serve vol.img --watch         live telemetry dashboard while serving
      cedar serve vol.img --open-loop R   Poisson open-loop traffic at R ops/s
+     cedar serve --volumes V --clients N sharded multi-volume scale-out run
      cedar churn [--ops N] [--tiny]      wrap the log under churn, self-verify
      cedar faultsweep [--tear MODE]      crash the server at every sector write
      cedar faultsweep --wrap             crash inside the log's wrap window
@@ -452,11 +453,61 @@ let cmd_profile path json =
 (* Multi-client server run: N sessions replay closed-loop scripts under
    the cooperative scheduler, sharing group-commit forces (§5.4). The
    image is not saved — serve is a measurement harness like [stats], and
-   keeping the image untouched makes same-seed runs byte-comparable. *)
-let cmd_serve path clients script_file seed think_us rounds json watch open_rate
-    open_ops timeline timeline_csv =
+   keeping the image untouched makes same-seed runs byte-comparable.
+
+   With --volumes V > 1 the sessions run against V fresh in-memory
+   volumes behind the sharded front end (one log and group-commit
+   batcher each); a single on-disk IMAGE holds one volume, so the two
+   are mutually exclusive. *)
+let print_serve_report json r =
+  let module S = Cedar_server.Server in
+  if json then print_endline (Obs.Jsonb.to_string_pretty (S.report_json r))
+  else begin
+    Printf.printf
+      "%d clients, %.2f s simulated: %d ops (%d mutating acked, %d \
+       rejected, %d errors)\n"
+      r.S.clients
+      (Simclock.s_of_us r.S.duration_us)
+      r.S.total_ops r.S.mutations_acked r.S.total_rejected r.S.total_errors;
+    Printf.printf
+      "group commit: %d log forces (%d server-initiated), %.1f acked \
+       mutations/force\n"
+      r.S.log_forces r.S.server_forces r.S.ops_per_force;
+    Printf.printf
+      "admission: %d rejects (%d queue-full, %d backpressure), %d \
+       retries, %d dropped\n"
+      r.S.total_rejected r.S.reject_queue_full r.S.reject_backpressure
+      r.S.total_retries r.S.total_dropped;
+    Printf.printf "commit wait: mean %.1f ms, p50 %.1f, p99 %.1f, max %.1f (%d waits)\n"
+      (r.S.wait_mean_us /. 1000.) (r.S.wait_p50_us /. 1000.)
+      (r.S.wait_p99_us /. 1000.) (r.S.wait_max_us /. 1000.) r.S.wait_n;
+    Printf.printf "batches: %d, mean %.1f sessions woken, max %.0f\n"
+      r.S.batch_n r.S.batch_mean r.S.batch_max;
+    if List.length r.S.per_volume > 1 then
+      List.iter
+        (fun v ->
+          Printf.printf
+            "  volume %d: %d log forces (%d server-initiated), %d acked%s\n"
+            v.S.vr_volume v.S.vr_log_forces v.S.vr_server_forces v.S.vr_acked
+            (if v.S.vr_crashed then ", CRASHED" else ""))
+        r.S.per_volume;
+    List.iter
+      (fun s ->
+        Printf.printf
+          "  session %02d: %d ops, %d acked, %d rejected, %d errors, \
+           wait max %.1f ms\n"
+          s.S.r_client s.S.r_ops s.S.r_mutations s.S.r_rejected
+          s.S.r_errors
+          (float_of_int s.S.r_wait_max_us /. 1000.))
+      r.S.per_session
+  end
+
+let cmd_serve path volumes clients script_file seed think_us rounds json watch
+    open_rate open_ops timeline timeline_csv =
   if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
   if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
+  if volumes < 1 || volumes > 256 then
+    fail "--volumes must be in [1, 256] (got %d)" volumes;
   let module C = Cedar_workload.Concurrent in
   let scripts =
     match (script_file, open_rate) with
@@ -468,75 +519,69 @@ let cmd_serve path clients script_file seed think_us rounds json watch open_rate
       close_in ic;
       (match C.parse_script text with
       | Error m -> fail "%s: %s" file m
-      | Ok s -> Array.init clients (fun client -> C.instantiate s ~client))
+      | Ok s -> Array.init clients (fun client -> C.instantiate ~volumes s ~client))
     | None, Some rate ->
       if rate <= 0.0 then fail "--open-loop rate must be positive (got %g)" rate;
       if open_ops < 1 then fail "--ops must be at least 1 (got %d)" open_ops;
-      C.open_loop
-        { C.default_open with C.ol_rate_per_s = rate; ol_ops = open_ops;
-          ol_seed = seed }
-        ~clients
+      let s =
+        C.open_loop
+          { C.default_open with C.ol_rate_per_s = rate; ol_ops = open_ops;
+            ol_seed = seed }
+          ~clients
+      in
+      if volumes > 1 then C.shard_scripts s ~volumes else s
     | None, None ->
-      C.makedo_scripts { C.default_spec with C.seed; think_us; rounds } ~clients
+      let s =
+        C.makedo_scripts { C.default_spec with C.seed; think_us; rounds } ~clients
+      in
+      if volumes > 1 then C.shard_scripts s ~volumes else s
   in
-  with_volume ~save:false path (fun vol ->
-      match vol with
-      | Cfs_vol _ -> fail "serve requires an FSD volume (group commit is FSD-only)"
-      | Fsd_vol fs ->
-        let mon =
-          if watch || timeline <> None || timeline_csv <> None then
-            Some (Cedar_fsd.Fsd.enable_monitor fs)
-          else None
-        in
-        (match mon with
-        | Some m when watch ->
-          (* frames to stderr under --json so the report stays parseable *)
-          attach_watch (if json then stderr else stdout) m
-        | Some _ | None -> ());
-        let r = Cedar_server.Server.serve fs scripts in
-        (match mon with
-        | None -> ()
-        | Some m ->
-          let samples = Obs.Monitor.samples m in
-          Option.iter
-            (fun p -> write_text p (Obs.Jsonb.to_string_pretty (Obs.Timeline.to_json samples)))
-            timeline;
-          Option.iter (fun p -> write_text p (Obs.Timeline.to_csv samples))
-            timeline_csv);
-        let module S = Cedar_server.Server in
-        if json then
-          print_endline (Obs.Jsonb.to_string_pretty (S.report_json r))
-        else begin
-          Printf.printf
-            "%d clients, %.2f s simulated: %d ops (%d mutating acked, %d \
-             rejected, %d errors)\n"
-            r.S.clients
-            (Simclock.s_of_us r.S.duration_us)
-            r.S.total_ops r.S.mutations_acked r.S.total_rejected r.S.total_errors;
-          Printf.printf
-            "group commit: %d log forces (%d server-initiated), %.1f acked \
-             mutations/force\n"
-            r.S.log_forces r.S.server_forces r.S.ops_per_force;
-          Printf.printf
-            "admission: %d rejects (%d queue-full, %d backpressure), %d \
-             retries, %d dropped\n"
-            r.S.total_rejected r.S.reject_queue_full r.S.reject_backpressure
-            r.S.total_retries r.S.total_dropped;
-          Printf.printf "commit wait: mean %.1f ms, p50 %.1f, p99 %.1f, max %.1f (%d waits)\n"
-            (r.S.wait_mean_us /. 1000.) (r.S.wait_p50_us /. 1000.)
-            (r.S.wait_p99_us /. 1000.) (r.S.wait_max_us /. 1000.) r.S.wait_n;
-          Printf.printf "batches: %d, mean %.1f sessions woken, max %.0f\n"
-            r.S.batch_n r.S.batch_mean r.S.batch_max;
-          List.iter
-            (fun s ->
-              Printf.printf
-                "  session %02d: %d ops, %d acked, %d rejected, %d errors, \
-                 wait max %.1f ms\n"
-                s.S.r_client s.S.r_ops s.S.r_mutations s.S.r_rejected
-                s.S.r_errors
-                (float_of_int s.S.r_wait_max_us /. 1000.))
-            r.S.per_session
-        end)
+  if volumes > 1 then begin
+    (match path with
+    | None -> ()
+    | Some p ->
+      fail
+        "--volumes %d runs on fresh in-memory volumes (an IMAGE holds one \
+         volume); omit %s"
+        volumes p);
+    if watch || timeline <> None || timeline_csv <> None then
+      fail "--watch/--timeline need a single volume's monitor";
+    guard (fun () ->
+        let clock = Simclock.create () in
+        let vset = Cedar_volumes.Volume_set.create_fresh ~clock volumes in
+        let r = Cedar_server.Server.serve_volumes vset scripts in
+        print_serve_report json r)
+  end
+  else begin
+    let path =
+      match path with Some p -> p | None -> fail "serve: missing IMAGE argument"
+    in
+    with_volume ~save:false path (fun vol ->
+        match vol with
+        | Cfs_vol _ -> fail "serve requires an FSD volume (group commit is FSD-only)"
+        | Fsd_vol fs ->
+          let mon =
+            if watch || timeline <> None || timeline_csv <> None then
+              Some (Cedar_fsd.Fsd.enable_monitor fs)
+            else None
+          in
+          (match mon with
+          | Some m when watch ->
+            (* frames to stderr under --json so the report stays parseable *)
+            attach_watch (if json then stderr else stdout) m
+          | Some _ | None -> ());
+          let r = Cedar_server.Server.serve fs scripts in
+          (match mon with
+          | None -> ()
+          | Some m ->
+            let samples = Obs.Monitor.samples m in
+            Option.iter
+              (fun p -> write_text p (Obs.Jsonb.to_string_pretty (Obs.Timeline.to_json samples)))
+              timeline;
+            Option.iter (fun p -> write_text p (Obs.Timeline.to_csv samples))
+              timeline_csv);
+          print_serve_report json r)
+  end
 
 (* Latency anatomy: run a server workload with lifecycle tracing on,
    fold the trace into conserved per-op phase vectors (Critpath) and
@@ -807,6 +852,22 @@ let profile_cmd =
     Term.(const cmd_profile $ img $ json)
 
 let serve_cmd =
+  let serve_img =
+    (* Optional here only: --volumes N>1 serves fresh in-memory volumes
+       and takes no image (a single image holds a single volume). *)
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"IMAGE")
+  in
+  let volumes =
+    Arg.(
+      value & opt int 1
+      & info [ "volumes" ] ~docv:"V"
+          ~doc:
+            "serve $(docv) independent fresh in-memory volumes behind the \
+             sharded front end (per-volume logs and group-commit batchers; \
+             file names route by a stable hash of their first path \
+             component). Mutually exclusive with IMAGE; the default 1 \
+             serves the given IMAGE exactly as before")
+  in
   let clients =
     Arg.(
       value & opt int 2
@@ -821,7 +882,8 @@ let serve_cmd =
             "replay $(docv) in every session (one step per line: think US, \
              create NAME BYTES, open NAME, read NAME, read-page NAME PAGE, \
              delete NAME, list PREFIX, force; {c} in names becomes the \
-             session's directory). Default: the per-client make/do workload")
+             session's directory, {v} a directory routing to volume \
+             client mod V). Default: the per-client make/do workload")
   in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"workload seed")
@@ -886,13 +948,14 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "run N concurrent client sessions against the volume under the \
+         "run N concurrent client sessions against the volume (or, with \
+          --volumes V, against V sharded in-memory volumes) under the \
           deterministic cooperative scheduler, batching their transactions \
-          into shared group-commit forces (the image is not modified; \
+          into per-volume group-commit forces (the image is not modified; \
           same-seed runs produce byte-identical reports)")
     Term.(
-      const cmd_serve $ img $ clients $ script $ seed $ think $ rounds $ json
-      $ watch $ open_loop $ open_ops $ timeline $ timeline_csv)
+      const cmd_serve $ serve_img $ volumes $ clients $ script $ seed $ think
+      $ rounds $ json $ watch $ open_loop $ open_ops $ timeline $ timeline_csv)
 
 let why_cmd =
   let clients =

@@ -28,6 +28,11 @@ type t = {
   mutable head_cyl : int;
   mutable write_crash : (int * tear) option; (* sectors until trigger, tear *)
   mutable observer : (rw:[ `R | `W ] -> sector:int -> count:int -> unit) option;
+  (* Deferred timing: commands queue on this device's own timeline
+     instead of advancing the shared clock, so several devices overlap
+     in simulated time. See [set_deferred]. *)
+  mutable deferred : bool;
+  mutable busy_horizon : int; (* device-local completion time of the last command *)
 }
 
 let register_gauges metrics (s : Iostats.t) =
@@ -57,6 +62,8 @@ let create ?trace ?metrics ~clock geom =
     head_cyl = 0;
     write_crash = None;
     observer = None;
+    deferred = false;
+    busy_horizon = 0;
   }
 
 let geometry t = t.geom
@@ -72,15 +79,20 @@ let check_sector t s =
 (* ------------------------------------------------------------------ *)
 (* Timing engine                                                       *)
 
-(* Rotational phase is derived from the clock, so the platter "keeps
-   spinning" between commands: an operation issued right after another on
-   the same track pays a full revolution unless the target sector is still
-   ahead of the head — exactly the lost-revolution effect of §6. *)
-
-let rot_phase_us t = Simclock.now t.clock mod Geometry.rotation_us t.geom
+(* Rotational phase is derived from the command's start time, so the
+   platter "keeps spinning" between commands: an operation issued right
+   after another on the same track pays a full revolution unless the
+   target sector is still ahead of the head — exactly the
+   lost-revolution effect of §6. In the default synchronous mode a
+   command starts now and advances the shared clock by its duration; in
+   deferred mode it starts when this device's previous command finishes
+   ([busy_horizon]), the clock is untouched, and the caller schedules
+   the completion. *)
 
 let position t ~sector ~count ~charge_transfer =
   let g = t.geom in
+  let now = Simclock.now t.clock in
+  let start = if t.deferred then max now t.busy_horizon else now in
   let chs = Geometry.to_chs g sector in
   let dist = abs (chs.cyl - t.head_cyl) in
   let seek = Geometry.seek_us g dist in
@@ -88,23 +100,20 @@ let position t ~sector ~count ~charge_transfer =
     t.stats.seeks <- t.stats.seeks + 1;
     t.stats.seek_us <- t.stats.seek_us + seek;
     if Trace.enabled t.trace then
-      Trace.emit t.trace ~at:(Simclock.now t.clock)
-        (Trace.Dev_seek { cylinders = dist; us = seek })
+      Trace.emit t.trace ~at:now (Trace.Dev_seek { cylinders = dist; us = seek })
   end;
-  Simclock.advance t.clock seek;
   t.head_cyl <- chs.cyl;
   (* Wait for the first target sector to rotate under the head. *)
   let rot = Geometry.rotation_us g in
   let sector_t = Geometry.sector_time_us g in
   let target_start = chs.sector * sector_t in
-  let phase = rot_phase_us t in
+  let phase = (start + seek) mod rot in
   let latency = (target_start - phase + rot) mod rot in
-  Simclock.advance t.clock latency;
   t.stats.rotation_us <- t.stats.rotation_us + latency;
+  let transfer = ref 0 in
   if charge_transfer then begin
     (* Transfer [count] consecutive sectors, charging head switches and
        track-to-track seeks at boundaries. *)
-    let transfer = ref 0 in
     for i = 0 to count - 1 do
       let s = sector + i in
       if i > 0 then begin
@@ -120,33 +129,41 @@ let position t ~sector ~count ~charge_transfer =
       end;
       transfer := !transfer + sector_t
     done;
-    Simclock.advance t.clock !transfer;
     t.stats.transfer_us <- t.stats.transfer_us + !transfer;
     t.stats.busy_us <- t.stats.busy_us + seek + latency + !transfer
   end
-  else t.stats.busy_us <- t.stats.busy_us + seek + latency
+  else t.stats.busy_us <- t.stats.busy_us + seek + latency;
+  let dur = seek + latency + !transfer in
+  if t.deferred then t.busy_horizon <- start + dur
+  else Simclock.advance t.clock dur;
+  dur
 
 let charge_read t ~sector ~count =
   let t0 = Simclock.now t.clock in
-  position t ~sector ~count ~charge_transfer:true;
+  let us = position t ~sector ~count ~charge_transfer:true in
   t.stats.ios <- t.stats.ios + 1;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.sectors_read <- t.stats.sectors_read + count;
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~at:t0
-      (Trace.Dev_read { sector; count; us = Simclock.now t.clock - t0 });
+    Trace.emit t.trace ~at:t0 (Trace.Dev_read { sector; count; us });
   match t.observer with Some f -> f ~rw:`R ~sector ~count | None -> ()
 
 let charge_write t ~sector ~count =
   let t0 = Simclock.now t.clock in
-  position t ~sector ~count ~charge_transfer:true;
+  let us = position t ~sector ~count ~charge_transfer:true in
   t.stats.ios <- t.stats.ios + 1;
   t.stats.writes <- t.stats.writes + 1;
   t.stats.sectors_written <- t.stats.sectors_written + count;
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~at:t0
-      (Trace.Dev_write { sector; count; us = Simclock.now t.clock - t0 });
+    Trace.emit t.trace ~at:t0 (Trace.Dev_write { sector; count; us });
   match t.observer with Some f -> f ~rw:`W ~sector ~count | None -> ()
+
+let set_deferred t on = t.deferred <- on
+let deferred t = t.deferred
+
+let busy_until t =
+  let now = Simclock.now t.clock in
+  if t.deferred then max now t.busy_horizon else now
 
 (* ------------------------------------------------------------------ *)
 (* Raw store                                                           *)

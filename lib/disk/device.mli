@@ -58,6 +58,28 @@ val metrics : t -> Cedar_obs.Metrics.t
 (** The volume-wide metrics registry; every layer above registers its
     instruments here. *)
 
+(** {1 Deferred timing (multi-device parallelism)} *)
+
+val set_deferred : t -> bool -> unit
+(** In the default synchronous mode every command advances the shared
+    clock by its duration, so commands on different devices serialise in
+    simulated time. With [set_deferred t true] a command instead starts
+    at [max now (busy_until t)] — queueing behind this device's previous
+    command only — updates {!busy_until}, and leaves the clock alone;
+    commands on different devices then overlap, which is what lets a
+    multi-volume server scale. The caller owns completion: it must not
+    treat a command's result as available before [busy_until t] (the
+    multi-volume scheduler parks the issuing session until then). The
+    mechanical model (seek, rotation phase at command start, transfer)
+    and all [Iostats] accounting are identical in both modes. *)
+
+val deferred : t -> bool
+
+val busy_until : t -> int
+(** Completion time of this device's latest command: the virtual instant
+    the caller may consume its result. Equals [Simclock.now] in
+    synchronous mode (commands complete before returning). *)
+
 (** {1 Plain sector I/O (used by FSD and the BSD baseline)} *)
 
 val read : t -> int -> bytes

@@ -9,6 +9,7 @@ type t = {
   log_sectors : int;
   log_vam : bool;
   track_tolerant_log : bool;
+  shard_id : int;
 }
 
 let magic = 0x42544631 (* "BTF1" *)
@@ -23,6 +24,7 @@ let encode t ~sector_bytes =
   Bytebuf.Writer.u32 w t.log_sectors;
   Bytebuf.Writer.bool w t.log_vam;
   Bytebuf.Writer.bool w t.track_tolerant_log;
+  Bytebuf.Writer.u8 w t.shard_id;
   let body = Bytebuf.Writer.contents w in
   Bytebuf.Writer.u32 w (Crc32.bytes body);
   Bytebuf.Writer.to_sector w ~size:sector_bytes
@@ -40,6 +42,7 @@ let decode b =
       let log_sectors = Bytebuf.Reader.u32 r in
       let log_vam = Bytebuf.Reader.bool r in
       let track_tolerant_log = Bytebuf.Reader.bool r in
+      let shard_id = Bytebuf.Reader.u8 r in
       let body_len = Bytebuf.Reader.pos r in
       let crc = Bytebuf.Reader.u32 r in
       if crc <> Crc32.bytes ~pos:0 ~len:body_len b then None
@@ -53,6 +56,7 @@ let decode b =
             log_sectors;
             log_vam;
             track_tolerant_log;
+            shard_id;
           }
     end
   with

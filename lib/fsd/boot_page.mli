@@ -13,6 +13,10 @@ type t = {
   log_sectors : int;
   log_vam : bool;  (** the volume runs the VAM-logging extension *)
   track_tolerant_log : bool;
+  shard_id : int;
+      (** the volume's shard in a multi-volume set (0 when standalone);
+          read back on boot so the log attaches under the same tag it
+          was formatted with *)
 }
 
 val write : Cedar_disk.Device.t -> sector_bytes:int -> t -> unit

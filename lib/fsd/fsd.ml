@@ -120,6 +120,7 @@ let mk_meters reg =
 
 let layout t = t.layout
 let params t = t.params
+let shard t = t.params.Params.shard_id
 let device t = t.device
 let trace t = Device.trace t.device
 let metrics t = Device.metrics t.device
@@ -1250,6 +1251,7 @@ let format device params =
       log_sectors = params.Params.log_sectors;
       log_vam = params.Params.log_vam;
       track_tolerant_log = params.Params.track_tolerant_log;
+      shard_id = params.Params.shard_id;
     }
 
 (* Scan the whole name table once: mark allocated sectors in the VAM and
@@ -1298,6 +1300,8 @@ let boot ?params device =
       Params.fnt_page_sectors = bp.Boot_page.fnt_page_sectors;
       fnt_pages = bp.Boot_page.fnt_pages;
       log_sectors = bp.Boot_page.log_sectors;
+      (* identity, not tuning: the shard the volume was formatted as *)
+      shard_id = bp.Boot_page.shard_id;
     }
   in
   let layout = Layout.compute geom p in
@@ -1315,7 +1319,8 @@ let boot ?params device =
   let leader_tbl : (int, bytes) Hashtbl.t = Hashtbl.create 64 in
   let chunk_tbl : (int, bytes * int64) Hashtbl.t = Hashtbl.create 16 in
   let rec_info =
-    Log.replay device layout ~f:(fun ~record_no ~off:_ units ->
+    Log.replay ~shard:p.Params.shard_id device layout
+      ~f:(fun ~record_no ~off:_ units ->
         List.iter
           (fun u ->
             match u.Log.kind with
@@ -1360,7 +1365,7 @@ let boot ?params device =
   let store = Fnt_store.attach device layout in
   let tree = B.attach store in
   let log =
-    Log.attach device layout ~boot_count
+    Log.attach ~shard:p.Params.shard_id device layout ~boot_count
       ~next_record_no:(Int64.add base_no 1_000_000L)
       ~write_off:rec_info.Log.p_next_write_off ~on_enter_third:on_enter
   in
@@ -1515,6 +1520,7 @@ let shutdown t =
       log_sectors = t.params.Params.log_sectors;
       log_vam = t.params.Params.log_vam;
       track_tolerant_log = t.params.Params.track_tolerant_log;
+      shard_id = t.params.Params.shard_id;
     };
   t.live <- false
 

@@ -231,6 +231,10 @@ val layout : t -> Layout.t
 val params : t -> Params.t
 (** The runtime parameters the volume booted with. *)
 
+val shard : t -> int
+(** The shard id the volume was formatted as (from the boot page via
+    [params]); 0 for a standalone volume. *)
+
 val device : t -> Cedar_disk.Device.t
 val free_sectors : t -> int
 

@@ -7,7 +7,9 @@ let pp_unit_kind ppf = function
   | Log.Vam_chunk c -> Format.fprintf ppf "vam:%d" c
 
 let log_report device layout ppf =
-  let r = Log.recover device layout in
+  let r =
+    Log.recover ~shard:layout.Layout.params.Params.shard_id device layout
+  in
   Format.fprintf ppf "log region: %d sectors at %d (thirds of %d)@."
     layout.Layout.log_sectors layout.Layout.log_start
     ((layout.Layout.log_sectors - 3) / 3);

@@ -16,6 +16,7 @@ type t = {
   device : Device.t;
   layout : Layout.t;
   boot_count : int;
+  shard : int;
   on_enter_third : int -> unit;
   mutable write_off : int; (* offset within the body, in sectors *)
   mutable next_record_no : int64;
@@ -74,6 +75,7 @@ let encode_header t units =
   Bytebuf.Writer.u64 w special;
   Bytebuf.Writer.u64 w t.next_record_no;
   Bytebuf.Writer.u32 w t.boot_count;
+  Bytebuf.Writer.u8 w t.shard;
   Bytebuf.Writer.u8 w (if track_tolerant t.layout then 1 else 0);
   Bytebuf.Writer.u16 w (List.length units);
   List.iter
@@ -90,6 +92,7 @@ let encode_header t units =
 type header = {
   h_record_no : int64;
   h_boot_count : int;
+  h_shard : int;
   h_track_tolerant : bool;
   h_units : (unit_kind * int) list; (* kind, sectors *)
   h_data_sectors : int;
@@ -104,6 +107,7 @@ let decode_header layout b =
     else begin
       let h_record_no = Bytebuf.Reader.u64 r in
       let h_boot_count = Bytebuf.Reader.u32 r in
+      let h_shard = Bytebuf.Reader.u8 r in
       let h_track_tolerant = Bytebuf.Reader.u8 r = 1 in
       let nunits = Bytebuf.Reader.u16 r in
       let h_units =
@@ -128,7 +132,9 @@ let decode_header layout b =
         h_data_sectors <> List.fold_left (fun a (_, n) -> a + n) 0 h_units
         || List.exists (fun (k, n) -> n <> unit_sectors layout k) h_units
       then None
-      else Some { h_record_no; h_boot_count; h_track_tolerant; h_units; h_data_sectors }
+      else
+        Some
+          { h_record_no; h_boot_count; h_shard; h_track_tolerant; h_units; h_data_sectors }
     end
   with
   | v -> v
@@ -232,7 +238,9 @@ let mk_stats () =
     record_sizes = Stats.create ();
   }
 
-let attach device layout ~boot_count ~next_record_no ~write_off ~on_enter_third =
+let attach ?(shard = 0) device layout ~boot_count ~next_record_no ~write_off
+    ~on_enter_third =
+  if shard < 0 || shard > 255 then invalid_arg "Log.attach: shard out of u8 range";
   let third = third_sectors layout in
   let write_off = if write_off >= body_sectors layout then 0 else write_off in
   write_pointer device layout ~offset:write_off ~record_no:next_record_no ~boot_count;
@@ -247,6 +255,7 @@ let attach device layout ~boot_count ~next_record_no ~write_off ~on_enter_third 
     device;
     layout;
     boot_count;
+    shard;
     on_enter_third;
     write_off;
     next_record_no;
@@ -398,7 +407,7 @@ type recovery = {
    layout is self-describing: the header carries a flag, and when the
    primary header is gone the copy is probed at both candidate offsets
    (+2 classic, +track for the track-tolerant format). *)
-let read_record device layout ~off ~expected ~corrected =
+let read_record device layout ~shard ~off ~expected ~corrected =
   let body = body_start layout in
   if off + 5 > body_sectors layout then None
   else begin
@@ -423,7 +432,10 @@ let read_record device layout ~off ~expected ~corrected =
     match header with
     | None -> None
     | Some h ->
-      if h.h_record_no <> expected then None
+      (* A record stamped for another volume's shard ends this chain:
+         shards never share a log region, so a foreign tag means the
+         sectors are stale garbage from a previous life of the device. *)
+      if h.h_record_no <> expected || h.h_shard <> shard then None
       else begin
         let n = h.h_data_sectors in
         let size = if h.h_track_tolerant then spt layout + n + 2 else (2 * n) + 5 in
@@ -506,7 +518,7 @@ type pass = {
    break. Every live log sector is read exactly once — the wrap probe
    applies the record it decodes instead of rescanning it, and a chain
    that started at offset 0 is never probed there again. *)
-let replay device layout ~f =
+let replay ?(shard = 0) device layout ~f =
   let corrected = ref 0 in
   match read_pointer device layout with
   | None ->
@@ -532,14 +544,14 @@ let replay device layout ~f =
     let rec scan off expected wrapped visited =
       if visited > body_sectors layout then off
       else
-        match read_record device layout ~off ~expected ~corrected with
+        match read_record device layout ~shard ~off ~expected ~corrected with
         | Some (units, size) ->
           apply ~off expected units;
           scan (off + size) (Int64.add expected 1L) wrapped (visited + size)
         | None ->
           (* The writer may have wrapped to offset 0 mid-chain. *)
           if (not wrapped) && off <> 0 && ptr_off <> 0 then
-            match read_record device layout ~off:0 ~expected ~corrected with
+            match read_record device layout ~shard ~off:0 ~expected ~corrected with
             | Some (units, size) ->
               apply ~off:0 expected units;
               scan size (Int64.add expected 1L) true (visited + size)
@@ -556,10 +568,10 @@ let replay device layout ~f =
       p_corrected_sectors = !corrected;
     }
 
-let recover device layout =
+let recover ?(shard = 0) device layout =
   let images : (unit_kind, bytes * int64) Hashtbl.t = Hashtbl.create 64 in
   let p =
-    replay device layout ~f:(fun ~record_no ~off:_ units ->
+    replay device layout ~shard ~f:(fun ~record_no ~off:_ units ->
         List.iter (fun u -> Hashtbl.replace images u.kind (u.image, record_no)) units)
   in
   {

@@ -39,6 +39,7 @@ val format : Cedar_disk.Device.t -> Layout.t -> unit
 (** Initialise pointer pages for an empty log. *)
 
 val attach :
+  ?shard:int ->
   Cedar_disk.Device.t ->
   Layout.t ->
   boot_count:int ->
@@ -51,7 +52,11 @@ val attach :
     immediately rewritten to ([write_off], [next_record_no]).
     [next_record_no] must exceed every record number ever written to this
     log — the caller guarantees this by adding a large slack on each boot
-    — so that stale records can never satisfy the recovery chain. *)
+    — so that stale records can never satisfy the recovery chain.
+    [shard] (default 0, u8) is stamped into every record header; a
+    multi-volume server gives each volume its own shard id so recovery
+    and the scavenger can never mistake another volume's leftovers for
+    this log's chain. Raises [Invalid_argument] outside [0, 255]. *)
 
 val append : t -> logged_unit list -> int
 (** Writes one record synchronously and returns the third in which the
@@ -120,6 +125,7 @@ type pass = {
 (** Summary of one {!replay} pass; field meanings as in {!recovery}. *)
 
 val replay :
+  ?shard:int ->
   Cedar_disk.Device.t ->
   Layout.t ->
   f:(record_no:int64 -> off:int -> logged_unit list -> unit) ->
@@ -129,8 +135,10 @@ val replay :
     order, stopping at the first break; tolerant of 1–2 consecutive
     damaged sectors anywhere (uses the replicas). Every live log sector
     is read at most once — restart cost is linear in the live log
-    length. *)
+    length. A record whose header carries a shard tag other than
+    [shard] (default 0) terminates the chain exactly like a torn
+    record. *)
 
-val recover : Cedar_disk.Device.t -> Layout.t -> recovery
+val recover : ?shard:int -> Cedar_disk.Device.t -> Layout.t -> recovery
 (** {!replay} specialised to collect the final image per logged unit
     (later records shadow earlier ones). *)

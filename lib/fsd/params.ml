@@ -1,6 +1,7 @@
 open Cedar_disk
 
 type t = {
+  shard_id : int;
   commit_interval_us : int;
   fnt_page_sectors : int;
   fnt_pages : int;
@@ -33,6 +34,7 @@ let blackbox_sectors = blackbox_slot_sectors * blackbox_slots
 
 let default =
   {
+    shard_id = 0;
     commit_interval_us = 500_000;
     fnt_page_sectors = 4;
     fnt_pages = 4096;
@@ -90,7 +92,8 @@ let validate g t =
   let metadata =
     3 + blackbox_sectors + vam_sectors + (2 * fnt_sectors) + t.log_sectors
   in
-  if t.commit_interval_us < 0 then Error "negative commit interval"
+  if t.shard_id < 0 || t.shard_id > 255 then Error "shard_id outside u8 range"
+  else if t.commit_interval_us < 0 then Error "negative commit interval"
   else if t.scrub_interval_us < 0 then Error "negative scrub interval"
   else if t.scrub_pages_per_pass < 0 || t.scrub_leaders_per_pass < 0 then
     Error "negative scrub batch size"

@@ -5,6 +5,13 @@
     back on boot; the rest are runtime knobs. *)
 
 type t = {
+  shard_id : int;
+      (** which shard of a multi-volume set this volume serves, in
+          [0, 255]; stamped into the boot page at format time and into
+          every log record header, so a reboot re-derives it and
+          recovery rejects another shard's leftovers. 0 — the only
+          value a single-volume deployment ever sees — preserves the
+          historical on-disk behaviour. *)
   commit_interval_us : int;
       (** group-commit force period; the paper forces twice a second *)
   fnt_page_sectors : int;  (** sectors per name-table page *)

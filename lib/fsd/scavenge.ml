@@ -36,6 +36,7 @@ let params_of_volume device geom =
         log_sectors = bp.Boot_page.log_sectors;
         log_vam = bp.Boot_page.log_vam;
         track_tolerant_log = bp.Boot_page.track_tolerant_log;
+        shard_id = bp.Boot_page.shard_id;
       },
       Some bp )
   | None -> (Params.for_geometry geom, None)
@@ -85,7 +86,7 @@ let run device =
   in
   (* Phase 1: the log first — committed page images supersede whatever is
      in the home locations, and may resurrect whole FNT pages. *)
-  let rec_info = Log.recover device layout in
+  let rec_info = Log.recover ~shard:params.Params.shard_id device layout in
   List.iter
     (fun (kind, image, _no) ->
       match kind with
@@ -285,6 +286,7 @@ let run device =
       log_sectors = params.Params.log_sectors;
       log_vam = params.Params.log_vam;
       track_tolerant_log = params.Params.track_tolerant_log;
+      shard_id = params.Params.shard_id;
     };
   end_phase "write-back";
   {

@@ -7,48 +7,68 @@ type instrument =
   | Gauge of (unit -> int)
   | Dist of Stats.t
 
-type t = { tbl : (string, instrument) Hashtbl.t }
+(* A registry is a shared table plus a name prefix. The root view
+   (prefix "") is what single-instance code has always seen; [scoped]
+   views share the table but qualify every registration and lookup, so
+   two FSD instances booted against sibling views cannot clobber each
+   other's instruments while the root still enumerates everything. *)
+type t = { tbl : (string, instrument) Hashtbl.t; prefix : string }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; prefix = "" }
+let scoped t prefix = { tbl = t.tbl; prefix = t.prefix ^ prefix }
+let prefix t = t.prefix
+let full t name = if t.prefix = "" then name else t.prefix ^ name
+
+(* Restrict an enumerated name to this view: [Some local] when it lives
+   under our prefix (stripped), [None] otherwise. *)
+let local t name =
+  let lp = String.length t.prefix in
+  if lp = 0 then Some name
+  else if String.length name >= lp && String.sub name 0 lp = t.prefix then
+    Some (String.sub name lp (String.length name - lp))
+  else None
 
 let counter t name =
   let c = ref 0 in
-  Hashtbl.replace t.tbl name (Counter c);
+  Hashtbl.replace t.tbl (full t name) (Counter c);
   c
 
 let inc c = incr c
 let add c n = c := !c + n
 let counter_value c = !c
-let gauge t name f = Hashtbl.replace t.tbl name (Gauge f)
+let gauge t name f = Hashtbl.replace t.tbl (full t name) (Gauge f)
 
 let dist t name =
   let s = Stats.create () in
-  Hashtbl.replace t.tbl name (Dist s);
+  Hashtbl.replace t.tbl (full t name) (Dist s);
   s
 
-let register_dist t name s = Hashtbl.replace t.tbl name (Dist s)
+let register_dist t name s = Hashtbl.replace t.tbl (full t name) (Dist s)
 
 let kinds t =
   Hashtbl.fold
     (fun name ins acc ->
-      let k =
-        match ins with
-        | Counter _ -> `Counter
-        | Gauge _ -> `Gauge
-        | Dist _ -> `Dist
-      in
-      (name, k) :: acc)
+      match local t name with
+      | None -> acc
+      | Some name ->
+        let k =
+          match ins with
+          | Counter _ -> `Counter
+          | Gauge _ -> `Gauge
+          | Dist _ -> `Dist
+        in
+        (name, k) :: acc)
     t.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let read t name =
-  match Hashtbl.find_opt t.tbl name with
+  match Hashtbl.find_opt t.tbl (full t name) with
   | Some (Counter c) -> Some !c
   | Some (Gauge f) -> Some (f ())
   | Some (Dist _) | None -> None
 
 let read_dist t name =
-  match Hashtbl.find_opt t.tbl name with
+  match Hashtbl.find_opt t.tbl (full t name) with
   | Some (Dist s) -> Some s
   | Some _ | None -> None
 
@@ -85,13 +105,16 @@ let snapshot_dist s =
 let snapshot t =
   Hashtbl.fold
     (fun name ins acc ->
-      let v =
-        match ins with
-        | Counter c -> Int !c
-        | Gauge f -> Int (f ())
-        | Dist s -> snapshot_dist s
-      in
-      (name, v) :: acc)
+      match local t name with
+      | None -> acc
+      | Some name ->
+        let v =
+          match ins with
+          | Counter c -> Int !c
+          | Gauge f -> Int (f ())
+          | Dist s -> snapshot_dist s
+        in
+        (name, v) :: acc)
     t.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 

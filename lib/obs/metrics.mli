@@ -23,6 +23,19 @@ type counter
 
 val create : unit -> t
 
+val scoped : t -> string -> t
+(** [scoped t prefix] is a view onto the {e same} underlying table that
+    qualifies every name with [prefix] (conventionally ["vol0."]), on
+    registration and on lookup alike. Enumeration ({!kinds},
+    {!snapshot}, {!to_json}, {!pp}) through a scoped view is restricted
+    to names under the prefix and reports them {e stripped}, so code
+    written against unqualified names ("fsd.forces") works unchanged
+    per instance; the root view still enumerates everything under its
+    full ["vol0.fsd.forces"] names. Scopes nest. *)
+
+val prefix : t -> string
+(** The view's accumulated prefix; [""] for a root registry. *)
+
 val counter : t -> string -> counter
 (** Register (or re-register, zeroed) a counter under [name]. *)
 

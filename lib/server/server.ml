@@ -1,33 +1,52 @@
-(* Concurrent multi-client FSD server: a deterministic cooperative
-   scheduler over the virtual clock, with a real group-commit batcher.
+(* Concurrent multi-client file server over a set of volumes: a
+   deterministic cooperative scheduler on the shared virtual clock, with
+   one real group-commit batcher per volume.
 
    Each client session replays a [Concurrent.script]. Operations run to
-   completion (cooperative, never preempted mid-op); a session that
-   performed a metadata mutation then *parks* on the batcher and is only
-   acknowledged once a log force covers its transaction — §5.4's "the
-   process doing the commit waits", generalised to N clients. The batcher
-   forces on three triggers:
+   completion (cooperative, never preempted mid-op) on the volume that
+   owns the file name ([Volume_set.route], a stable name-prefix hash); a
+   session that performed a metadata mutation then *parks* on the owning
+   volume's batcher and is only acknowledged once a log force on that
+   volume covers its transaction — §5.4's "the process doing the commit
+   waits", generalised to N clients over V independent logs. Each
+   volume's batcher forces on three triggers:
 
-   - time: the half-second commit demon ([Params.commit_interval_us]);
-   - size: [max_batch] sessions parked;
-   - explicit: a client [Force] step.
+   - time: that volume's half-second commit demon
+     ([Params.commit_interval_us]);
+   - size: [max_batch] sessions parked on that volume;
+   - explicit: a client [Force] step (which forces every live volume).
 
    Admission control rejects — never blocks — with two distinct typed
-   triggers: [Queue_full] when [queue_cap] sessions are already parked
-   (unconditional, so the parked queue is bounded at any log fill), and
-   [Backpressure] when the current log third is past [backpressure_fill].
-   A rejected step is re-parked and retried after the next commit
-   opportunity, up to [admission_retries] times; only then is it dropped,
-   and the drop is counted in the report rather than silently lost.
+   triggers, both judged against the op's target volume: [Queue_full]
+   when [queue_cap] sessions are already parked there (unconditional,
+   so each parked queue is bounded at any log fill), and [Backpressure]
+   when that volume's current log third is past [backpressure_fill]. A
+   rejected step is re-parked and retried after the volume's next
+   commit opportunity, up to [admission_retries] times; only then is it
+   dropped, and the drop is counted in the report rather than silently
+   lost.
 
-   Determinism: sessions are stepped round-robin by index, the only
-   clock is [Simclock], and the only randomness is the script
-   generator's seeded [Rng] — two runs from the same seed produce
-   byte-identical reports. *)
+   The single-volume server is the degenerate case and is byte-identical
+   to the historical one-FSD scheduler: with V = 1 every per-volume loop
+   below visits exactly one volume in the same order the old code did.
+
+   Crash containment: with one volume a planted device crash
+   ([Device.Crash_during_write]) propagates to the harness as before —
+   the machine halted. With several volumes it quarantines just the
+   crashed volume: its parked sessions abort (their unacked mutations
+   are the §5.4 "may be lost" set), later ops routed to it abort their
+   sessions, and every other volume keeps serving — recovery is per
+   volume, which is the point of giving each volume its own log.
+
+   Determinism: sessions are stepped round-robin by index, volumes are
+   visited in index order, the only clock is [Simclock], and the only
+   randomness is the script generator's seeded [Rng] — two runs from
+   the same seed produce byte-identical reports. *)
 
 open Cedar_util
 open Cedar_obs
 open Cedar_fsd
+open Cedar_volumes
 open Cedar_workload
 
 type error =
@@ -65,7 +84,7 @@ let default_config =
 type state =
   | Ready
   | Thinking of { until : int }
-  | Parked of { token : Fsd.token; since : int; op : Concurrent.op }
+  | Parked of { vol : int; token : Fsd.token; since : int; op : Concurrent.op }
   | Done
 
 type session = {
@@ -90,18 +109,30 @@ type session = {
   mutable t_exec_end : int;  (* Fsd.submit returned; park window starts *)
 }
 
-type t = {
-  fsd : Fsd.t;
-  clock : Simclock.t;
-  cfg : config;
-  sessions : session array;
-  mutable cursor : int;  (* round-robin scan start *)
-  mutable last_durable : int;
-  mutable forces : int;  (* server-initiated (time/size/explicit) *)
-  mutable last_force_us : int;  (* duration of the last server force *)
-  mutable acked_rev : (int * Concurrent.op) list;  (* ack journal, newest first *)
-  commit_wait_us : Stats.t;
-  batch_size : Stats.t;
+(* Per-volume scheduler state. Every instrument is registered in the
+   volume's own registry view ([Fsd.metrics], "volN."-scoped when the
+   set has several volumes, the historical unprefixed names when it has
+   one) so that each volume's monitor demon derives its own sat.*
+   gauges and two coexisting volumes can never clobber each other. *)
+type vol = {
+  v_id : int;
+  v_fsd : Fsd.t;
+  v_dev : Cedar_disk.Device.t;
+  (* Deferred-timing device (multi-volume): commands queue on the
+     device's own timeline, and the scheduler parks each session until
+     its command's completion instant — that is where inter-volume
+     parallelism comes from. False for the single-volume degenerate
+     case, whose devices stay synchronous (byte-identical history). *)
+  v_par : bool;
+  mutable v_dead : bool;  (* quarantined after a planted crash (V > 1) *)
+  mutable v_crash_sector : int;  (* valid when v_dead *)
+  mutable v_last_durable : int;
+  mutable v_forces : int;  (* server-initiated forces on this volume *)
+  mutable v_forces0 : int;  (* log forces at run start *)
+  mutable v_last_force_us : int;  (* duration of its last server force *)
+  mutable v_acked : int;
+  v_commit_wait_us : Stats.t;
+  v_batch_size : Stats.t;
   c_reject_queue_full : Metrics.counter;
   c_reject_backpressure : Metrics.counter;
   c_retries : Metrics.counter;
@@ -118,6 +149,18 @@ type t = {
   c_phase_parked_us : Metrics.counter;
 }
 
+type t = {
+  vset : Volume_set.t;
+  vols : vol array;
+  clock : Simclock.t;
+  trace : Trace.t;  (* shared by every volume *)
+  cfg : config;
+  sessions : session array;
+  mutable cursor : int;  (* round-robin scan start *)
+  mutable forces : int;  (* server-initiated (time/size/explicit), all vols *)
+  mutable acked_rev : (int * Concurrent.op) list;  (* ack journal, newest first *)
+}
+
 type session_report = {
   r_client : int;
   r_ops : int;
@@ -128,6 +171,14 @@ type session_report = {
   r_aborted : string option;
   r_wait_total_us : int;
   r_wait_max_us : int;
+}
+
+type volume_report = {
+  vr_volume : int;
+  vr_server_forces : int;
+  vr_log_forces : int;
+  vr_acked : int;
+  vr_crashed : bool;
 }
 
 type report = {
@@ -154,110 +205,195 @@ type report = {
   batch_mean : float;
   batch_max : float;
   per_session : session_report list;
+  per_volume : volume_report list;
 }
 
 let now t = Simclock.now t.clock
+let single t = Array.length t.vols = 1
 
-let parked_count t =
+let parked_on t vid =
   Array.fold_left
-    (fun n s -> match s.state with Parked _ -> n + 1 | _ -> n)
+    (fun n s -> match s.state with Parked { vol; _ } when vol = vid -> n + 1 | _ -> n)
     0 t.sessions
+
+(* Which volume an operation belongs to. [Force] fans out to every
+   volume; its accounting (spans, error counts) is charged to volume 0,
+   which is the only volume when the distinction could matter for
+   compatibility. *)
+let target_vid t (op : Concurrent.op) =
+  if single t then 0
+  else
+    match op with
+    | Create { name; _ } | Open name | Read name | Delete name -> Volume_set.route t.vset name
+    | Read_page { name; _ } -> Volume_set.route t.vset name
+    | List prefix -> Volume_set.route t.vset prefix
+    | Force -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Crash quarantine. *)
+
+(* A planted crash on volume [v] of a multi-volume set halts that volume
+   only. Sessions parked on it will never be acked — their mutations are
+   exactly the unacknowledged set §5.4 allows to be lost — so they abort
+   now; sessions later routed to it abort at admission. The [Fsd.t] must
+   not be touched again until the harness reboots the device. *)
+let quarantine t v ~sector =
+  v.v_dead <- true;
+  v.v_crash_sector <- sector;
+  let reason = Printf.sprintf "volume %d crashed" v.v_id in
+  Array.iter
+    (fun s ->
+      match s.state with
+      | Parked { vol; _ } when vol = v.v_id ->
+        s.aborted <- Some reason;
+        s.steps <- [];
+        s.state <- Done
+      | _ -> ())
+    t.sessions
+
+(* Run [f] against volume [v]: with a single volume a planted crash is
+   the machine halting and propagates (the historical contract the
+   fault sweep drives); with several it quarantines just [v]. *)
+let guarded t v f =
+  if single t then f ()
+  else
+    try f ()
+    with Cedar_disk.Device.Crash_during_write { sector } ->
+      quarantine t v ~sector
 
 (* ------------------------------------------------------------------ *)
 (* The batcher. *)
 
-let force_now t =
+let force_vol t v =
   t.forces <- t.forces + 1;
+  v.v_forces <- v.v_forces + 1;
   (match t.cfg.on_force with Some f -> f t.forces | None -> ());
   let t0 = now t in
-  Fsd.force t.fsd;
-  t.last_force_us <- now t - t0
+  let b0 = if v.v_par then Cedar_disk.Device.busy_until v.v_dev else t0 in
+  guarded t v (fun () -> Fsd.force v.v_fsd);
+  v.v_last_force_us <-
+    (* Deferred device: the force's writes queued on the device timeline
+       instead of advancing the clock, so its duration is the horizon
+       delta; synchronous: the clock moved, as it always did. *)
+    (if v.v_par then Cedar_disk.Device.busy_until v.v_dev - b0 else now t - t0)
 
-(* Wake every parked session the last force covered. One durable
-   advance = one batch; its size is the number of sessions released
-   together, the quantity Hagmann's group commit amortises the force
-   over. *)
+(* An explicit client [Force]: flush every live volume, index order. *)
+let force_all t =
+  Array.iter (fun v -> if not v.v_dead then force_vol t v) t.vols
+
+(* Wake every parked session the last force on each volume covered. One
+   durable advance on one volume = one batch; its size is the number of
+   sessions released together, the quantity Hagmann's group commit
+   amortises that volume's force over. *)
 let poll_wakes t =
-  let d = Fsd.durable_seq t.fsd in
-  if d > t.last_durable then begin
-    t.last_durable <- d;
-    let woken = ref 0 in
-    Array.iter
-      (fun s ->
-        match s.state with
-        | Parked { token; since; op } when Fsd.token_durable t.fsd token ->
-          let at = now t in
-          let wait = at - since in
-          incr woken;
-          Stats.add t.commit_wait_us (float_of_int wait);
-          s.wait_total_us <- s.wait_total_us + wait;
-          if wait > s.wait_max_us then s.wait_max_us <- wait;
-          s.mutations <- s.mutations + 1;
-          Metrics.inc t.c_acked;
-          (* Phase split of the park window: the tail that overlaps the
-             covering force's own device writes is "append" (the op's
-             share of log I/O latency); the head is pure parked-for-force
-             wait. Online approximation: the last server force's
-             duration; Critpath computes the exact overlap from force
-             spans in the trace. *)
-          let append = if wait < t.last_force_us then wait else t.last_force_us in
-          Metrics.add t.c_phase_append_us append;
-          Metrics.add t.c_phase_parked_us (wait - append);
-          let tr = Fsd.trace t.fsd in
-          if Trace.enabled tr then begin
-            Trace.emit tr ~at
-              (Trace.Session_wait { client = s.client; us = wait });
-            Trace.emit tr ~at
-              (Trace.Op_acked { client = s.client; opseq = s.opseq })
-          end;
-          s.arrival_us <- at;
-          t.acked_rev <- (s.client, op) :: t.acked_rev;
-          (match t.cfg.on_ack with
-          | Some f -> f ~client:s.client ~op
-          | None -> ());
-          s.state <- Ready
-        | _ -> ())
-      t.sessions;
-    if !woken > 0 then Stats.add t.batch_size (float_of_int !woken)
-  end
+  Array.iter
+    (fun v ->
+      if not v.v_dead then begin
+        let d = Fsd.durable_seq v.v_fsd in
+        if d > v.v_last_durable then begin
+          v.v_last_durable <- d;
+          let woken = ref 0 in
+          Array.iter
+            (fun s ->
+              match s.state with
+              | Parked { vol; token; since; op }
+                when vol = v.v_id && Fsd.token_durable v.v_fsd token ->
+                let at = now t in
+                (* Deferred device: the covering force's writes complete
+                   at the device's busy horizon, not "now" — the ack is
+                   stamped there and the session keeps waiting (as a
+                   Thinking park) until the clock catches up. *)
+                let done_at =
+                  if v.v_par then
+                    max at (Cedar_disk.Device.busy_until v.v_dev)
+                  else at
+                in
+                let wait = done_at - since in
+                incr woken;
+                Stats.add v.v_commit_wait_us (float_of_int wait);
+                s.wait_total_us <- s.wait_total_us + wait;
+                if wait > s.wait_max_us then s.wait_max_us <- wait;
+                s.mutations <- s.mutations + 1;
+                v.v_acked <- v.v_acked + 1;
+                Metrics.inc v.c_acked;
+                (* Phase split of the park window: the tail that overlaps
+                   the covering force's own device writes is "append" (the
+                   op's share of log I/O latency); the head is pure
+                   parked-for-force wait. Online approximation: that
+                   volume's last server-force duration; Critpath computes
+                   the exact overlap from force spans in the trace. *)
+                let append =
+                  if wait < v.v_last_force_us then wait else v.v_last_force_us
+                in
+                Metrics.add v.c_phase_append_us append;
+                Metrics.add v.c_phase_parked_us (wait - append);
+                if Trace.enabled t.trace then begin
+                  Trace.emit t.trace ~at:done_at
+                    (Trace.Session_wait { client = s.client; us = wait });
+                  Trace.emit t.trace ~at:done_at
+                    (Trace.Op_acked { client = s.client; opseq = s.opseq })
+                end;
+                s.arrival_us <- done_at;
+                t.acked_rev <- (s.client, op) :: t.acked_rev;
+                (match t.cfg.on_ack with
+                | Some f -> f ~client:s.client ~op
+                | None -> ());
+                s.state <-
+                  (if done_at > at then Thinking { until = done_at } else Ready)
+              | _ -> ())
+            t.sessions;
+          if !woken > 0 then Stats.add v.v_batch_size (float_of_int !woken)
+        end
+      end)
+    t.vols
 
-(* Run at every point where the scheduler regains control: fire the
-   commit demon if its interval elapsed inside the last op, let the
-   other demons (scrub) run, then release whoever the force covered. *)
+(* Run at every point where the scheduler regains control: fire each
+   volume's commit demon if its interval elapsed inside the last op, let
+   the other demons (scrub, home-writer, monitor) run on every volume,
+   then release whoever the forces covered. *)
 let schedule_point t =
-  if now t >= Fsd.commit_due_at t.fsd then force_now t;
-  Demons.run_due t.fsd;
+  Array.iter
+    (fun v ->
+      if (not v.v_dead) && now t >= Fsd.commit_due_at v.v_fsd then force_vol t v)
+    t.vols;
+  Array.iter
+    (fun v -> if not v.v_dead then guarded t v (fun () -> Demons.run_due v.v_fsd))
+    t.vols;
   poll_wakes t;
-  if parked_count t >= t.cfg.max_batch then begin
-    force_now t;
-    poll_wakes t
-  end
+  Array.iter
+    (fun v ->
+      if (not v.v_dead) && parked_on t v.v_id >= t.cfg.max_batch then begin
+        force_vol t v;
+        poll_wakes t
+      end)
+    t.vols
 
 (* ------------------------------------------------------------------ *)
 (* Session stepping. *)
 
-let exec_op t (op : Concurrent.op) =
+let exec_op t v (op : Concurrent.op) =
+  let fsd = v.v_fsd in
   match op with
   | Create { name; bytes; fill } ->
     ignore
-      (Fsd.create t.fsd ~name (Concurrent.content ~fill bytes)
+      (Fsd.create fsd ~name (Concurrent.content ~fill bytes)
         : Cedar_fsbase.Fs_ops.info)
-  | Open name -> ignore (Fsd.open_stat t.fsd ~name : Cedar_fsbase.Fs_ops.info)
-  | Read name -> ignore (Fsd.read_all t.fsd ~name : bytes)
-  | Read_page { name; page } -> ignore (Fsd.read_page t.fsd ~name ~page : bytes)
-  | Delete name -> Fsd.delete t.fsd ~name
-  | List prefix -> ignore (Fsd.list t.fsd ~prefix : Cedar_fsbase.Fs_ops.info list)
-  | Force -> force_now t
+  | Open name -> ignore (Fsd.open_stat fsd ~name : Cedar_fsbase.Fs_ops.info)
+  | Read name -> ignore (Fsd.read_all fsd ~name : bytes)
+  | Read_page { name; page } -> ignore (Fsd.read_page fsd ~name ~page : bytes)
+  | Delete name -> Fsd.delete fsd ~name
+  | List prefix -> ignore (Fsd.list fsd ~prefix : Cedar_fsbase.Fs_ops.info list)
+  | Force -> force_all t
 
-(* The depth cap must hold unconditionally: the parked queue is the
-   server's only bounded resource, and tying it to log fill (as an
-   earlier revision did) let it grow without limit whenever the log
-   third happened to be fresh. Backpressure from log fill is a second,
-   independent trigger with its own typed error. *)
-let admission_reject t (s : session) (op : Concurrent.op) =
+(* The depth cap must hold unconditionally: each volume's parked queue
+   is a bounded resource, and tying it to log fill (as an earlier
+   revision did) let it grow without limit whenever the log third
+   happened to be fresh. Backpressure from the target volume's log fill
+   is a second, independent trigger with its own typed error. *)
+let admission_reject t v (s : session) (op : Concurrent.op) =
   if not (Concurrent.mutates op) then None
   else begin
-    let depth = parked_count t in
+    let depth = parked_on t v.v_id in
     let reject c e =
       s.rejected <- s.rejected + 1;
       Metrics.inc c;
@@ -265,49 +401,58 @@ let admission_reject t (s : session) (op : Concurrent.op) =
       Some e
     in
     if depth >= t.cfg.queue_cap then
-      reject t.c_reject_queue_full (Queue_full { depth; cap = t.cfg.queue_cap })
+      reject v.c_reject_queue_full (Queue_full { depth; cap = t.cfg.queue_cap })
     else if t.cfg.backpressure_fill >= 1.0 then
       (* 1.0 means "trigger off" by contract — and must be tested
          explicitly, because [log_third_fill] legitimately reads exactly
          1.0 while the head sits on a third boundary. *)
       None
     else
-      let fill = Fsd.log_third_fill t.fsd in
+      let fill = Fsd.log_third_fill v.v_fsd in
       if fill >= t.cfg.backpressure_fill then
-        reject t.c_reject_backpressure
+        reject v.c_reject_backpressure
           (Backpressure { depth; fill; threshold = t.cfg.backpressure_fill })
       else None
   end
 
 (* Admission has already passed when this runs. [Fs_error] is a client
    error (bad name, missing file): count it and move on. A planted
-   device crash is the simulated machine halt and must propagate to the
-   harness. Anything else is a server-side bug; it must not wedge the
-   round-robin scheduler mid-span, so the session is terminated with the
-   exception recorded as a typed abort. *)
-let run_op t s op =
+   device crash is the simulated machine halt when the server owns one
+   volume (propagate to the harness) and a per-volume quarantine when it
+   owns several. Anything else is a server-side bug; it must not wedge
+   the round-robin scheduler mid-span, so the session is terminated with
+   the exception recorded as a typed abort. *)
+let run_op t v s op =
   s.ops <- s.ops + 1;
-  let tr = Fsd.trace t.fsd in
   let t_start = now t in
   (* Admission is over: everything since the first attempt was retry
      windows. [begin_span] is guarded so a tracing-off run performs no
      allocation on this path (the label is precomputed per session). *)
-  Metrics.add t.c_phase_admission_us (t_start - s.t_submitted);
+  Metrics.add v.c_phase_admission_us (t_start - s.t_submitted);
   let span =
-    if Trace.enabled tr then
-      Trace.begin_span tr ~at:t_start ~op:s.label ~name:(Concurrent.op_name op)
+    if Trace.enabled t.trace then
+      Trace.begin_span t.trace ~at:t_start ~op:s.label
+        ~name:(Concurrent.op_name op)
     else 0
   in
   let token =
     Fun.protect
-      ~finally:(fun () -> Trace.end_span tr ~at:(now t) span)
+      ~finally:(fun () -> Trace.end_span t.trace ~at:(now t) span)
       (fun () ->
-        match Fsd.submit t.fsd (fun () -> exec_op t op) with
+        match Fsd.submit v.v_fsd (fun () -> exec_op t v op) with
         | (), tok -> tok
         | exception Cedar_fsbase.Fs_error.Fs_error _ ->
           s.errors <- s.errors + 1;
           Fsd.always_durable
-        | exception (Cedar_disk.Device.Crash_during_write _ as e) -> raise e
+        | exception (Cedar_disk.Device.Crash_during_write { sector } as e) ->
+          if single t then raise e
+          else begin
+            quarantine t v ~sector;
+            s.aborted <- Some (Printf.sprintf "volume %d crashed" v.v_id);
+            s.steps <- [];
+            s.state <- Done;
+            Fsd.always_durable
+          end
         | exception e ->
           s.aborted <-
             Some
@@ -319,30 +464,45 @@ let run_op t s op =
   in
   let t_end = now t in
   s.t_exec_end <- t_end;
-  Metrics.add t.c_phase_execute_us (t_end - t_start);
+  Metrics.add v.c_phase_execute_us (t_end - t_start);
+  (* Deferred device: the op's I/O queued on the device timeline without
+     advancing the clock, so its result is only available at the busy
+     horizon — the session parks (Thinking) until then, which is what
+     lets other volumes' sessions run in the meantime. Synchronous
+     devices complete before returning: done_at = t_end, no park. *)
+  let done_at =
+    if v.v_par then max t_end (Cedar_disk.Device.busy_until v.v_dev) else t_end
+  in
+  let park_to_completion () =
+    if done_at > t_end then s.state <- Thinking { until = done_at }
+  in
   let ack_now () =
-    if Trace.enabled tr then
-      Trace.emit tr ~at:t_end
+    if Trace.enabled t.trace then
+      Trace.emit t.trace ~at:done_at
         (Trace.Op_acked { client = s.client; opseq = s.opseq });
-    s.arrival_us <- t_end
+    s.arrival_us <- done_at
   in
   if s.state = Done then ()
-  else if token = Fsd.always_durable then
+  else if token = Fsd.always_durable then begin
     (* Reads, lists, explicit forces and client errors: the lifecycle
        ends at execute completion, no park window. *)
-    ack_now ()
-  else if Fsd.token_durable t.fsd token then
+    ack_now ();
+    park_to_completion ()
+  end
+  else if Fsd.token_durable v.v_fsd token then
     (* A mid-op force (the bulk-trigger backstop) already covered the
        mutation: acknowledge with zero commit wait, no park. *)
     begin
       s.mutations <- s.mutations + 1;
-      Metrics.inc t.c_acked;
-      Stats.add t.commit_wait_us 0.;
+      v.v_acked <- v.v_acked + 1;
+      Metrics.inc v.c_acked;
+      Stats.add v.v_commit_wait_us 0.;
       ack_now ();
       t.acked_rev <- (s.client, op) :: t.acked_rev;
-      match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ()
+      (match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ());
+      park_to_completion ()
     end
-  else s.state <- Parked { token; since = t_end; op }
+  else s.state <- Parked { vol = v.v_id; token; since = t_end; op }
 
 let reject_label = function
   | Queue_full _ -> "queue_full"
@@ -372,53 +532,62 @@ let step t s =
       (* else: behind schedule — arrival_us stays at the previous op's
          completion; the backlog time counts as queue wait. *)
     | Concurrent.Op op -> (
-      if s.retries = 0 then begin
-        (* First admission attempt of a new lifecycle. *)
-        s.opseq <- s.opseq + 1;
-        s.t_submitted <- now t;
-        Metrics.add t.c_phase_queue_us (now t - s.arrival_us);
-        let tr = Fsd.trace t.fsd in
-        if Trace.enabled tr then
-          Trace.emit tr ~at:(now t)
-            (Trace.Op_submitted
-               {
-                 client = s.client;
-                 opseq = s.opseq;
-                 op = Concurrent.op_kind op;
-                 arrived_us = s.arrival_us;
-               })
-      end;
-      match admission_reject t s op with
-      | Some e when s.retries < t.cfg.admission_retries ->
-        (* Leave the step at the head of the script and retry once the
-           next commit opportunity has had a chance to drain the queue —
-           a reject must never silently drop the mutation. *)
-        s.retries <- s.retries + 1;
-        Metrics.inc t.c_retries;
-        let tr = Fsd.trace t.fsd in
-        if Trace.enabled tr then
-          Trace.emit tr ~at:(now t)
-            (Trace.Op_rejected
-               { client = s.client; opseq = s.opseq; why = reject_label e });
-        s.state <- Thinking { until = max (now t + 1) (Fsd.commit_due_at t.fsd) }
-      | Some _ ->
-        (* Retries exhausted: give up on this step, but account for it.
-           The whole submitted->dropped window was admission time. *)
-        let retries = s.retries in
-        s.retries <- 0;
-        s.dropped <- s.dropped + 1;
-        Metrics.inc t.c_dropped;
-        Metrics.add t.c_phase_admission_us (now t - s.t_submitted);
-        let tr = Fsd.trace t.fsd in
-        if Trace.enabled tr then
-          Trace.emit tr ~at:(now t)
-            (Trace.Op_dropped { client = s.client; opseq = s.opseq; retries });
-        s.arrival_us <- now t;
-        s.steps <- rest
-      | None ->
-        s.retries <- 0;
-        s.steps <- rest;
-        run_op t s op))
+      let v = t.vols.(target_vid t op) in
+      if v.v_dead then begin
+        (* The owning volume crashed out from under this session: there
+           is no one to serve the op, or any later op routed the same
+           way. Typed abort, like any other server-side termination. *)
+        s.aborted <- Some (Printf.sprintf "volume %d crashed" v.v_id);
+        s.steps <- [];
+        s.state <- Done
+      end
+      else begin
+        if s.retries = 0 then begin
+          (* First admission attempt of a new lifecycle. *)
+          s.opseq <- s.opseq + 1;
+          s.t_submitted <- now t;
+          Metrics.add v.c_phase_queue_us (now t - s.arrival_us);
+          if Trace.enabled t.trace then
+            Trace.emit t.trace ~at:(now t)
+              (Trace.Op_submitted
+                 {
+                   client = s.client;
+                   opseq = s.opseq;
+                   op = Concurrent.op_kind op;
+                   arrived_us = s.arrival_us;
+                 })
+        end;
+        match admission_reject t v s op with
+        | Some e when s.retries < t.cfg.admission_retries ->
+          (* Leave the step at the head of the script and retry once the
+             volume's next commit opportunity has had a chance to drain
+             its queue — a reject must never silently drop the mutation. *)
+          s.retries <- s.retries + 1;
+          Metrics.inc v.c_retries;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace ~at:(now t)
+              (Trace.Op_rejected
+                 { client = s.client; opseq = s.opseq; why = reject_label e });
+          s.state <-
+            Thinking { until = max (now t + 1) (Fsd.commit_due_at v.v_fsd) }
+        | Some _ ->
+          (* Retries exhausted: give up on this step, but account for it.
+             The whole submitted->dropped window was admission time. *)
+          let retries = s.retries in
+          s.retries <- 0;
+          s.dropped <- s.dropped + 1;
+          Metrics.inc v.c_dropped;
+          Metrics.add v.c_phase_admission_us (now t - s.t_submitted);
+          if Trace.enabled t.trace then
+            Trace.emit t.trace ~at:(now t)
+              (Trace.Op_dropped { client = s.client; opseq = s.opseq; retries });
+          s.arrival_us <- now t;
+          s.steps <- rest
+        | None ->
+          s.retries <- 0;
+          s.steps <- rest;
+          run_op t v s op
+      end))
 
 (* ------------------------------------------------------------------ *)
 (* The scheduler. *)
@@ -446,19 +615,27 @@ let next_runnable t =
   in
   scan 0
 
-let all_done t =
-  Array.for_all (fun s -> s.state = Done) t.sessions
+let all_done t = Array.for_all (fun s -> s.state = Done) t.sessions
 
 (* Every live session is either thinking toward a known time or parked
-   waiting for the commit demon; the next interesting instant is the
-   earliest of those. *)
+   waiting for some volume's commit demon; the next interesting instant
+   is the earliest of those across all live volumes. *)
 let next_event_time t =
   let demons =
-    (* An attached telemetry monitor wakes the scheduler too, so samples
-       land on their cadence instead of at the next commit/think edge. *)
-    match Fsd.monitor t.fsd with
-    | Some m -> min (Fsd.commit_due_at t.fsd) (Cedar_obs.Monitor.due_at m)
-    | None -> Fsd.commit_due_at t.fsd
+    Array.fold_left
+      (fun acc v ->
+        if v.v_dead then acc
+        else
+          (* An attached telemetry monitor wakes the scheduler too, so
+             samples land on their cadence instead of at the next
+             commit/think edge. *)
+          let due =
+            match Fsd.monitor v.v_fsd with
+            | Some m -> min (Fsd.commit_due_at v.v_fsd) (Cedar_obs.Monitor.due_at m)
+            | None -> Fsd.commit_due_at v.v_fsd
+          in
+          min acc due)
+      max_int t.vols
   in
   Array.fold_left
     (fun acc s ->
@@ -468,8 +645,8 @@ let next_event_time t =
     demons t.sessions
 
 (* All remaining work is parked sessions whose scripts are exhausted:
-   nothing new can join the batch, so flush it now rather than sleeping
-   out the rest of the commit interval (shutdown semantics). *)
+   nothing new can join those batches, so flush them now rather than
+   sleeping out the rest of the commit interval (shutdown semantics). *)
 let only_drain_left t =
   (not (all_done t))
   && Array.for_all
@@ -480,11 +657,18 @@ let only_drain_left t =
          | Ready | Thinking _ -> false)
        t.sessions
 
-let create ?(config = default_config) fsd scripts =
+(* Flush every live volume still owing acks, index order. *)
+let force_drain t =
+  Array.iter
+    (fun v -> if (not v.v_dead) && parked_on t v.v_id > 0 then force_vol t v)
+    t.vols
+
+let create_volumes ?(config = default_config) vset scripts =
   if Array.length scripts = 0 then invalid_arg "Server.create: no scripts";
   if config.max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
   if config.queue_cap < 1 then invalid_arg "Server.create: queue_cap < 1";
-  let t0 = Simclock.now (Cedar_disk.Device.clock (Fsd.device fsd)) in
+  let clock = Volume_set.clock vset in
+  let t0 = Simclock.now clock in
   let sessions =
     Array.mapi
       (fun client steps ->
@@ -509,44 +693,69 @@ let create ?(config = default_config) fsd scripts =
         })
       scripts
   in
-  let m = Fsd.metrics fsd in
+  let vols =
+    Array.init (Volume_set.count vset) (fun i ->
+        let fsd = Volume_set.vol vset i in
+        let m = Fsd.metrics fsd in
+        let dev = Volume_set.device vset i in
+        {
+          v_id = i;
+          v_fsd = fsd;
+          v_dev = dev;
+          v_par = Cedar_disk.Device.deferred dev;
+          v_dead = false;
+          v_crash_sector = -1;
+          v_last_durable = Fsd.durable_seq fsd;
+          v_forces = 0;
+          v_forces0 = 0;
+          v_last_force_us = 0;
+          v_acked = 0;
+          v_commit_wait_us = Metrics.dist m "server.commit_wait_us";
+          v_batch_size = Metrics.dist m "server.batch_size";
+          c_reject_queue_full = Metrics.counter m "server.rejects.queue_full";
+          c_reject_backpressure = Metrics.counter m "server.rejects.backpressure";
+          c_retries = Metrics.counter m "server.retries";
+          c_dropped = Metrics.counter m "server.dropped";
+          c_acked = Metrics.counter m "server.acked";
+          c_phase_queue_us = Metrics.counter m "server.phase.queue_us";
+          c_phase_admission_us = Metrics.counter m "server.phase.admission_us";
+          c_phase_execute_us = Metrics.counter m "server.phase.execute_us";
+          c_phase_append_us = Metrics.counter m "server.phase.append_us";
+          c_phase_parked_us = Metrics.counter m "server.phase.parked_us";
+        })
+  in
   let t =
     {
-      fsd;
-      clock = Cedar_disk.Device.clock (Fsd.device fsd);
+      vset;
+      vols;
+      clock;
+      trace = Volume_set.trace vset;
       cfg = config;
       sessions;
       cursor = 0;
-      last_durable = Fsd.durable_seq fsd;
       forces = 0;
-      last_force_us = 0;
       acked_rev = [];
-      commit_wait_us = Metrics.dist m "server.commit_wait_us";
-      batch_size = Metrics.dist m "server.batch_size";
-      c_reject_queue_full = Metrics.counter m "server.rejects.queue_full";
-      c_reject_backpressure = Metrics.counter m "server.rejects.backpressure";
-      c_retries = Metrics.counter m "server.retries";
-      c_dropped = Metrics.counter m "server.dropped";
-      c_acked = Metrics.counter m "server.acked";
-      c_phase_queue_us = Metrics.counter m "server.phase.queue_us";
-      c_phase_admission_us = Metrics.counter m "server.phase.admission_us";
-      c_phase_execute_us = Metrics.counter m "server.phase.execute_us";
-      c_phase_append_us = Metrics.counter m "server.phase.append_us";
-      c_phase_parked_us = Metrics.counter m "server.phase.parked_us";
     }
   in
-  Metrics.gauge m "server.queue_depth" (fun () -> parked_count t);
+  Array.iter
+    (fun v ->
+      Metrics.gauge (Fsd.metrics v.v_fsd) "server.queue_depth" (fun () ->
+          parked_on t v.v_id))
+    vols;
   t
+
+let create ?config fsd scripts =
+  create_volumes ?config (Volume_set.of_fsd fsd) scripts
 
 let run t =
   let t0 = now t in
-  let forces0 = (Fsd.counters t.fsd).Fsd.forces in
+  Array.iter (fun v -> v.v_forces0 <- (Fsd.counters v.v_fsd).Fsd.forces) t.vols;
   let rec loop () =
     if not (all_done t) then begin
       (match next_runnable t with
       | Some s -> step t s
       | None ->
-        if only_drain_left t then force_now t
+        if only_drain_left t then force_drain t
         else Simclock.advance_to t.clock (next_event_time t));
       schedule_point t;
       loop ()
@@ -554,9 +763,27 @@ let run t =
   in
   loop ();
   let duration_us = now t - t0 in
-  let log_forces = (Fsd.counters t.fsd).Fsd.forces - forces0 in
+  let vol_log_forces v = (Fsd.counters v.v_fsd).Fsd.forces - v.v_forces0 in
+  let log_forces = Array.fold_left (fun n v -> n + vol_log_forces v) 0 t.vols in
   let total f = Array.fold_left (fun n s -> n + f s) 0 t.sessions in
+  let vtotal f = Array.fold_left (fun n v -> n + f v) 0 t.vols in
   let mutations_acked = total (fun s -> s.mutations) in
+  (* Merged wait/batch statistics across volumes (for one volume this is
+     that volume's own series, so the report is unchanged). *)
+  let merged per_vol =
+    if Array.length t.vols = 1 then per_vol t.vols.(0)
+    else begin
+      let d = Stats.create () in
+      Array.iter
+        (fun v ->
+          let src = per_vol v in
+          List.iter (Stats.add d) (Stats.recent src (Stats.n src)))
+        t.vols;
+      d
+    end
+  in
+  let wait = merged (fun v -> v.v_commit_wait_us) in
+  let batch = merged (fun v -> v.v_batch_size) in
   let dist_or d f default = if Stats.n d = 0 then default else f d in
   {
     clients = Array.length t.sessions;
@@ -569,20 +796,21 @@ let run t =
       (if log_forces = 0 then 0.
        else float_of_int mutations_acked /. float_of_int log_forces);
     total_rejected = total (fun s -> s.rejected);
-    reject_queue_full = Metrics.counter_value t.c_reject_queue_full;
-    reject_backpressure = Metrics.counter_value t.c_reject_backpressure;
-    total_retries = Metrics.counter_value t.c_retries;
+    reject_queue_full = vtotal (fun v -> Metrics.counter_value v.c_reject_queue_full);
+    reject_backpressure =
+      vtotal (fun v -> Metrics.counter_value v.c_reject_backpressure);
+    total_retries = vtotal (fun v -> Metrics.counter_value v.c_retries);
     total_dropped = total (fun s -> s.dropped);
     total_errors = total (fun s -> s.errors);
     total_aborted = total (fun s -> if s.aborted = None then 0 else 1);
-    wait_n = Stats.n t.commit_wait_us;
-    wait_mean_us = dist_or t.commit_wait_us Stats.mean 0.;
-    wait_p50_us = dist_or t.commit_wait_us (fun d -> Stats.percentile d 0.50) 0.;
-    wait_p99_us = dist_or t.commit_wait_us (fun d -> Stats.percentile d 0.99) 0.;
-    wait_max_us = dist_or t.commit_wait_us Stats.max 0.;
-    batch_n = Stats.n t.batch_size;
-    batch_mean = dist_or t.batch_size Stats.mean 0.;
-    batch_max = dist_or t.batch_size Stats.max 0.;
+    wait_n = Stats.n wait;
+    wait_mean_us = dist_or wait Stats.mean 0.;
+    wait_p50_us = dist_or wait (fun d -> Stats.percentile d 0.50) 0.;
+    wait_p99_us = dist_or wait (fun d -> Stats.percentile d 0.99) 0.;
+    wait_max_us = dist_or wait Stats.max 0.;
+    batch_n = Stats.n batch;
+    batch_mean = dist_or batch Stats.mean 0.;
+    batch_max = dist_or batch Stats.max 0.;
     per_session =
       Array.to_list
         (Array.map
@@ -599,11 +827,27 @@ let run t =
                r_wait_max_us = s.wait_max_us;
              })
            t.sessions);
+    per_volume =
+      Array.to_list
+        (Array.map
+           (fun v ->
+             {
+               vr_volume = v.v_id;
+               vr_server_forces = v.v_forces;
+               vr_log_forces = vol_log_forces v;
+               vr_acked = v.v_acked;
+               vr_crashed = v.v_dead;
+             })
+           t.vols);
   }
 
 let serve ?config fsd scripts = run (create ?config fsd scripts)
-
+let serve_volumes ?config vset scripts = run (create_volumes ?config vset scripts)
 let acked t = List.rev t.acked_rev
+
+let crashed_volumes t =
+  Array.to_list t.vols
+  |> List.filter_map (fun v -> if v.v_dead then Some v.v_id else None)
 
 type outcome = Completed of report | Crashed of { sector : int }
 
@@ -614,7 +858,9 @@ let run_to_crash t =
     Crashed { sector }
 
 (* Deterministic rendering: field order is fixed here, sessions are in
-   client order, so byte-identical reports mean identical runs. *)
+   client order, so byte-identical reports mean identical runs. The
+   "volumes" array appears only for a multi-volume server — the
+   single-volume JSON is byte-for-byte the historical shape. *)
 let report_json r =
   let session s =
     Jsonb.Obj
@@ -631,37 +877,51 @@ let report_json r =
         ("wait_max_us", Jsonb.Int s.r_wait_max_us);
       ]
   in
+  let volume v =
+    Jsonb.Obj
+      [
+        ("volume", Jsonb.Int v.vr_volume);
+        ("server_forces", Jsonb.Int v.vr_server_forces);
+        ("log_forces", Jsonb.Int v.vr_log_forces);
+        ("acked", Jsonb.Int v.vr_acked);
+        ("crashed", Jsonb.Bool v.vr_crashed);
+      ]
+  in
   Jsonb.Obj
-    [
-      ("clients", Jsonb.Int r.clients);
-      ("duration_us", Jsonb.Int r.duration_us);
-      ("total_ops", Jsonb.Int r.total_ops);
-      ("mutations_acked", Jsonb.Int r.mutations_acked);
-      ("server_forces", Jsonb.Int r.server_forces);
-      ("log_forces", Jsonb.Int r.log_forces);
-      ("ops_per_force", Jsonb.Float r.ops_per_force);
-      ("rejected", Jsonb.Int r.total_rejected);
-      ("rejects_queue_full", Jsonb.Int r.reject_queue_full);
-      ("rejects_backpressure", Jsonb.Int r.reject_backpressure);
-      ("retries", Jsonb.Int r.total_retries);
-      ("dropped", Jsonb.Int r.total_dropped);
-      ("errors", Jsonb.Int r.total_errors);
-      ("aborted", Jsonb.Int r.total_aborted);
-      ( "commit_wait_us",
-        Jsonb.Obj
-          [
-            ("n", Jsonb.Int r.wait_n);
-            ("mean", Jsonb.Float r.wait_mean_us);
-            ("p50", Jsonb.Float r.wait_p50_us);
-            ("p99", Jsonb.Float r.wait_p99_us);
-            ("max", Jsonb.Float r.wait_max_us);
-          ] );
-      ( "batch_size",
-        Jsonb.Obj
-          [
-            ("n", Jsonb.Int r.batch_n);
-            ("mean", Jsonb.Float r.batch_mean);
-            ("max", Jsonb.Float r.batch_max);
-          ] );
-      ("sessions", Jsonb.Arr (List.map session r.per_session));
-    ]
+    ([
+       ("clients", Jsonb.Int r.clients);
+       ("duration_us", Jsonb.Int r.duration_us);
+       ("total_ops", Jsonb.Int r.total_ops);
+       ("mutations_acked", Jsonb.Int r.mutations_acked);
+       ("server_forces", Jsonb.Int r.server_forces);
+       ("log_forces", Jsonb.Int r.log_forces);
+       ("ops_per_force", Jsonb.Float r.ops_per_force);
+       ("rejected", Jsonb.Int r.total_rejected);
+       ("rejects_queue_full", Jsonb.Int r.reject_queue_full);
+       ("rejects_backpressure", Jsonb.Int r.reject_backpressure);
+       ("retries", Jsonb.Int r.total_retries);
+       ("dropped", Jsonb.Int r.total_dropped);
+       ("errors", Jsonb.Int r.total_errors);
+       ("aborted", Jsonb.Int r.total_aborted);
+       ( "commit_wait_us",
+         Jsonb.Obj
+           [
+             ("n", Jsonb.Int r.wait_n);
+             ("mean", Jsonb.Float r.wait_mean_us);
+             ("p50", Jsonb.Float r.wait_p50_us);
+             ("p99", Jsonb.Float r.wait_p99_us);
+             ("max", Jsonb.Float r.wait_max_us);
+           ] );
+       ( "batch_size",
+         Jsonb.Obj
+           [
+             ("n", Jsonb.Int r.batch_n);
+             ("mean", Jsonb.Float r.batch_mean);
+             ("max", Jsonb.Float r.batch_max);
+           ] );
+       ("sessions", Jsonb.Arr (List.map session r.per_session));
+     ]
+    @
+    if List.length r.per_volume > 1 then
+      [ ("volumes", Jsonb.Arr (List.map volume r.per_volume)) ]
+    else [])

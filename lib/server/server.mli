@@ -1,28 +1,38 @@
-(** Concurrent multi-client FSD server with a group-commit batcher.
+(** Concurrent multi-client file server with per-volume group commit.
 
     A deterministic cooperative scheduler over the virtual clock: N
     client sessions each replay a {!Cedar_workload.Concurrent.script}
-    against one {!Cedar_fsd.Fsd.t}. Operations run to completion; a
-    session that performed a metadata mutation parks on the batcher and
-    is acknowledged only when a log force covers its transaction — the
-    paper's §5.4 commit protocol ("the process doing the commit waits")
-    generalised to N clients sharing each force.
+    against a {!Cedar_volumes.Volume_set.t}. Operations run to
+    completion on the volume that owns the file name (a stable
+    name-prefix hash, {!Cedar_volumes.Shard_map}); a session that
+    performed a metadata mutation parks on the owning volume's batcher
+    and is acknowledged only when a log force on that volume covers its
+    transaction — the paper's §5.4 commit protocol ("the process doing
+    the commit waits") generalised to N clients over V independent
+    logs. Acked ⇒ durable is a per-volume contract: each volume's log
+    alone covers the mutations it acknowledged.
 
-    The batcher forces on three triggers: the half-second commit
-    interval, [max_batch] parked sessions, or an explicit client
-    [Force]. Admission control rejects — never blocks — on two distinct
-    triggers: {!Queue_full} when [queue_cap] sessions are already parked
-    (unconditional, so the parked queue stays bounded at any log fill),
-    and {!Backpressure} when the current log third is past
-    [backpressure_fill]. A rejected step stays at the head of its script
-    and is retried after the next commit opportunity, up to
-    [admission_retries] times; only then is it dropped, and the drop is
-    counted in the report.
+    Each volume's batcher forces on three triggers: its half-second
+    commit interval, [max_batch] sessions parked on it, or an explicit
+    client [Force] (which flushes every live volume). Admission control
+    rejects — never blocks — on two distinct triggers judged against
+    the op's target volume: {!Queue_full} when [queue_cap] sessions are
+    already parked there (unconditional, so each parked queue stays
+    bounded at any log fill), and {!Backpressure} when that volume's
+    current log third is past [backpressure_fill]. A rejected step
+    stays at the head of its script and is retried after the volume's
+    next commit opportunity, up to [admission_retries] times; only then
+    is it dropped, and the drop is counted in the report.
 
-    Determinism contract: given the same volume image, scripts and
+    The single-volume server ({!create}, over
+    {!Cedar_volumes.Volume_set.of_fsd}) is the degenerate case and is
+    byte-identical to the historical one-FSD scheduler.
+
+    Determinism contract: given the same volume images, scripts and
     configuration, two runs produce byte-identical {!report_json} output
-    (sessions are stepped round-robin by index; the only clock is the
-    simulated one; scripts carry their own seeds). *)
+    (sessions are stepped round-robin by index, volumes in index order;
+    the only clock is the simulated one; scripts carry their own
+    seeds). *)
 
 type error =
   | Queue_full of { depth : int; cap : int }
@@ -73,6 +83,15 @@ type session_report = {
   r_wait_max_us : int;
 }
 
+type volume_report = {
+  vr_volume : int;
+  vr_server_forces : int;  (** forces the scheduler initiated on it *)
+  vr_log_forces : int;  (** all its log forces, including backstops *)
+  vr_acked : int;  (** mutations acknowledged durable by this volume *)
+  vr_crashed : bool;  (** quarantined by a planted crash (multi-volume) *)
+}
+(** Per-volume slice of a run — one entry per volume, index order. *)
+
 type report = {
   clients : int;
   duration_us : int;
@@ -97,24 +116,44 @@ type report = {
   batch_mean : float;  (** sessions released per advance *)
   batch_max : float;
   per_session : session_report list;
+  per_volume : volume_report list;
 }
 
 val create :
   ?config:config -> Cedar_fsd.Fsd.t -> Cedar_workload.Concurrent.script array -> t
-(** Session [i] runs [scripts.(i)] as client [i]. Registers the
-    [server.queue_depth] gauge, the [server.commit_wait_us] /
-    [server.batch_size] distributions, and the admission counters
-    [server.rejects.queue_full], [server.rejects.backpressure],
-    [server.retries] and [server.dropped] in the volume's metrics
-    registry (so [cedar serve --json] and [cedar stats] expose them).
-    Raises [Invalid_argument] on an empty script array or a
-    non-positive [max_batch]/[queue_cap]. *)
+(** Single-volume server: [create_volumes] over
+    {!Cedar_volumes.Volume_set.of_fsd} — the degenerate, historically
+    byte-identical case. Session [i] runs [scripts.(i)] as client [i].
+    Registers the [server.queue_depth] gauge, the
+    [server.commit_wait_us] / [server.batch_size] distributions, and
+    the admission counters [server.rejects.queue_full],
+    [server.rejects.backpressure], [server.retries] and
+    [server.dropped] in the volume's metrics registry (so
+    [cedar serve --json] and [cedar stats] expose them). Raises
+    [Invalid_argument] on an empty script array or a non-positive
+    [max_batch]/[queue_cap]. *)
+
+val create_volumes :
+  ?config:config ->
+  Cedar_volumes.Volume_set.t ->
+  Cedar_workload.Concurrent.script array ->
+  t
+(** Multi-volume server. Every instrument above is registered once per
+    volume in that volume's own registry view ([volN.server.*] names in
+    the root for a multi-volume set, the unprefixed historical names
+    for a single-volume one), so each volume's monitor derives its own
+    sat.* gauges and coexisting volumes never clobber each other's
+    counters. *)
 
 val run : t -> report
-(** Drive every session to completion and drain the final batch. A
-    device crash planted by [on_force] propagates as
-    [Cedar_disk.Device.Crash_during_write] — by then every acknowledged
-    transaction is on disk and no unacknowledged one is. *)
+(** Drive every session to completion and drain the final batches. A
+    device crash planted by [on_force] on a single-volume server
+    propagates as [Cedar_disk.Device.Crash_during_write] — by then
+    every acknowledged transaction is on disk and no unacknowledged one
+    is. On a multi-volume server the same crash quarantines only that
+    volume: its parked sessions abort, sessions later routed to it
+    abort, every other volume keeps serving to completion, and the
+    report marks the volume [vr_crashed]. *)
 
 val serve :
   ?config:config ->
@@ -123,11 +162,24 @@ val serve :
   report
 (** [create] + [run]. *)
 
+val serve_volumes :
+  ?config:config ->
+  Cedar_volumes.Volume_set.t ->
+  Cedar_workload.Concurrent.script array ->
+  report
+(** [create_volumes] + [run]. *)
+
 val acked : t -> (int * Cedar_workload.Concurrent.op) list
 (** The ack journal: every [(client, op)] acknowledged durable so far,
     in acknowledgement order. This is the crash sweep's ground truth —
     after a planted crash, everything in this list must be recoverable
-    and correct. *)
+    and correct (on a multi-volume server: everything in this list
+    routed to the crashed volume). *)
+
+val crashed_volumes : t -> int list
+(** Volumes quarantined by a planted crash so far, ascending — empty
+    for a healthy run, and always empty on a single-volume server
+    (where the crash propagates instead). *)
 
 type outcome =
   | Completed of report
@@ -141,4 +193,6 @@ val run_to_crash : t -> outcome
 
 val report_json : report -> Cedar_obs.Jsonb.t
 (** Deterministic rendering (fixed field order, sessions in client
-    order) — byte-identical across same-seed runs. *)
+    order) — byte-identical across same-seed runs. The ["volumes"]
+    array appears only for a multi-volume report, so the single-volume
+    JSON keeps its historical byte-exact shape. *)

@@ -1,0 +1,12 @@
+type t = { shards : int }
+
+let max_shards = 256
+
+let create ~shards =
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Shard_map.create: shards must be in [1, %d]" max_shards);
+  { shards }
+
+let shards t = t.shards
+let route t name = Cedar_fsbase.Fname.shard ~shards:t.shards name

@@ -1,0 +1,22 @@
+(** Name-to-shard routing for a multi-volume file server.
+
+    A shard map is pure configuration: the shard count. Routing hashes
+    the file name's first path component ({!Cedar_fsbase.Fname.shard},
+    FNV-1a), so the mapping is a stable function of the name alone —
+    the same name lands on the same shard in every process, after every
+    reboot, with no routing table to persist or recover. Names sharing
+    a top-level directory land on the same shard, keeping any future
+    multi-name operation within one volume's log. *)
+
+type t
+
+val max_shards : int
+(** 256 — the log record header stores the shard id as one byte. *)
+
+val create : shards:int -> t
+(** Raises [Invalid_argument] outside [1, {!max_shards}]. *)
+
+val shards : t -> int
+
+val route : t -> string -> int
+(** The shard (volume index) owning [name], in [0, shards). *)

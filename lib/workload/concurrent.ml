@@ -426,7 +426,11 @@ let open_loop spec ~clients =
 
    "{c}" in a name is replaced per client ("c00", "c01", ...), giving
    each session its own namespace; a literal name shared by every client
-   exercises contention instead. *)
+   exercises contention instead. "{v}" is replaced with a top-level
+   directory that shard-routes to volume [client mod volumes]
+   (Fname.shard_dir), so a multi-volume serve spreads clients across
+   volumes deterministically; with one volume it degenerates to the
+   constant "v0". *)
 
 let parse_line lineno line =
   let line =
@@ -473,16 +477,17 @@ let parse_script text =
   in
   go 1 [] lines
 
-let substitute ~client name =
-  let marker = "{c}" in
+let substitute ~client ~vdir name =
   let b = Buffer.create (String.length name) in
   let n = String.length name in
   let rec go i =
     if i >= n then ()
-    else if
-      i + 3 <= n && String.sub name i 3 = marker
-    then begin
+    else if i + 3 <= n && String.sub name i 3 = "{c}" then begin
       Buffer.add_string b (client_dir client);
+      go (i + 3)
+    end
+    else if i + 3 <= n && String.sub name i 3 = "{v}" then begin
+      Buffer.add_string b vdir;
       go (i + 3)
     end
     else begin
@@ -493,18 +498,40 @@ let substitute ~client name =
   go 0;
   Buffer.contents b
 
-let instantiate script ~client =
+let map_names f script =
   List.map
     (function
       | (Think _ | At _) as s -> s
       | Op op ->
         Op
           (match op with
-          | Create c -> Create { c with name = substitute ~client c.name }
-          | Open name -> Open (substitute ~client name)
-          | Read name -> Read (substitute ~client name)
-          | Read_page p -> Read_page { p with name = substitute ~client p.name }
-          | Delete name -> Delete (substitute ~client name)
-          | List prefix -> List (substitute ~client prefix)
+          | Create c -> Create { c with name = f c.name }
+          | Open name -> Open (f name)
+          | Read name -> Read (f name)
+          | Read_page p -> Read_page { p with name = f p.name }
+          | Delete name -> Delete (f name)
+          | List prefix -> List (f prefix)
           | Force -> Force))
     script
+
+let instantiate ?(volumes = 1) script ~client =
+  if volumes < 1 then invalid_arg "Concurrent.instantiate: volumes < 1";
+  let vdir = Cedar_fsbase.Fname.shard_dir ~shards:volumes (client mod volumes) in
+  map_names (substitute ~client ~vdir) script
+
+(* Pin each client's whole namespace to one volume by nesting it under a
+   shard-routing top-level directory ("v<K>.../c<NN>/..."): clients are
+   dealt round-robin over volumes, so K clients on V volumes load every
+   volume with K/V closed loops — the scale-out benchmark shape. With
+   [volumes = 1] every name gains a constant "v0/" prefix: same volume,
+   same script shape, so single- and multi-volume runs stay
+   comparable. *)
+let shard_scripts scripts ~volumes =
+  if volumes < 1 then invalid_arg "Concurrent.shard_scripts: volumes < 1";
+  Array.mapi
+    (fun client script ->
+      let vdir =
+        Cedar_fsbase.Fname.shard_dir ~shards:volumes (client mod volumes)
+      in
+      map_names (fun name -> vdir ^ "/" ^ name) script)
+    scripts

@@ -153,6 +153,18 @@ val parse_script : string -> (script, string) result
     [read-page NAME PAGE], [delete NAME], [list PREFIX], [force];
     [#] comments). *)
 
-val instantiate : script -> client:int -> script
+val instantiate : ?volumes:int -> script -> client:int -> script
 (** Replace every ["{c}"] in names with the client's directory ("c00",
-    "c01", ...) so each session gets its own namespace. *)
+    "c01", ...) so each session gets its own namespace, and every
+    ["{v}"] with a top-level directory that shard-routes
+    ({!Cedar_fsbase.Fname.shard_dir}) to volume [client mod volumes]
+    (default [volumes = 1], where it is the constant ["v0"]). Raises
+    [Invalid_argument] when [volumes < 1]. *)
+
+val shard_scripts : script array -> volumes:int -> script array
+(** Pin client [i]'s namespace to volume [i mod volumes] by prefixing
+    every name with a shard-routing top-level directory
+    ("v<K>.../name"). [volumes = 1] adds the same constant prefix to
+    every client — same single volume, same script shape — so single-
+    and multi-volume benchmark runs stay comparable. Raises
+    [Invalid_argument] when [volumes < 1]. *)

@@ -267,6 +267,7 @@ let test_boot_page_roundtrip () =
       log_sectors = 642;
       log_vam = true;
       track_tolerant_log = false;
+      shard_id = 3;
     }
   in
   Boot_page.write device ~sector_bytes:512 bp;

@@ -25,4 +25,5 @@ let () =
       ("wrap", Test_wrap.suite);
       ("monitor", Test_monitor.suite);
       ("critpath", Test_critpath.suite);
+      ("volumes", Test_volumes.suite);
     ]
