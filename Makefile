@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): `make check` must pass — a clean build
 # with zero warnings plus the full test suite — before any PR lands.
 
-.PHONY: all check build test bench bench-diff serve-smoke volumes-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke why-smoke fmt fmt-check ci clean
+.PHONY: all check build test bench bench-diff serve-smoke volumes-smoke faultsweep-smoke wrap-smoke recovery-smoke timeline-smoke watch-smoke why-smoke qdepth-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -16,10 +16,10 @@ check: build test
 # Reproduce every paper table and regenerate the committed snapshots
 # (BENCH_OBS.json, BENCH_GROUPCOMMIT.json, BENCH_FAULTSWEEP.json,
 # BENCH_RECOVERY.json, BENCH_WRAP.json, BENCH_TIMELINE.json,
-# BENCH_BREAKDOWN.json, BENCH_VOLUMES.json) so reviewers can diff
-# observability, group-commit-scaling, crash-sweep, restart-time,
-# log-wrap-endurance, saturation-sweep, latency-anatomy and
-# multi-volume-scale-out output.
+# BENCH_BREAKDOWN.json, BENCH_VOLUMES.json, BENCH_QDEPTH.json) so
+# reviewers can diff observability, group-commit-scaling, crash-sweep,
+# restart-time, log-wrap-endurance, saturation-sweep, latency-anatomy,
+# multi-volume-scale-out and disk-scheduler-sweep output.
 bench:
 	dune exec bench/main.exe
 	dune exec bench/main.exe -- obs-json --out BENCH_OBS.json
@@ -30,6 +30,7 @@ bench:
 	dune exec bench/main.exe -- timeline --out BENCH_TIMELINE.json
 	dune exec bench/main.exe -- breakdown --out BENCH_BREAKDOWN.json
 	dune exec bench/main.exe -- volumes --out BENCH_VOLUMES.json
+	dune exec bench/main.exe -- qdepth --out BENCH_QDEPTH.json
 
 # Snapshot drift gate: regenerate every BENCH_*.json into
 # _build/bench-diff/ and structurally compare against the committed
@@ -150,6 +151,21 @@ why-smoke:
 	@grep -q '"all_conserved": true' _build/why-smoke/run1.json
 	@echo "why-smoke: conserved, deterministic"
 
+# Disk-scheduler smoke: the qdepth sweep must rerun byte-identically and
+# both built-in regression checks must hold — a reordering policy beats
+# FIFO at depth >= 4, and depth-1 rows degenerate to the queue-off
+# baseline.
+qdepth-smoke:
+	rm -rf _build/qdepth-smoke && mkdir -p _build/qdepth-smoke
+	dune exec bench/main.exe -- qdepth \
+		--out _build/qdepth-smoke/run1.json > _build/qdepth-smoke/log1.txt
+	dune exec bench/main.exe -- qdepth \
+		--out _build/qdepth-smoke/run2.json > /dev/null
+	cmp _build/qdepth-smoke/run1.json _build/qdepth-smoke/run2.json
+	@grep -q '"shape_ok": true' _build/qdepth-smoke/run1.json
+	@grep -q '"depth1_ok": true' _build/qdepth-smoke/run1.json
+	@echo "qdepth-smoke: reordering wins at depth >= 4, depth-1 degenerate, deterministic"
+
 # Requires ocamlformat (not vendored in the container); no-op without it.
 fmt:
 	-dune fmt
@@ -162,7 +178,7 @@ fmt-check:
 	fi
 
 ci: fmt-check check serve-smoke volumes-smoke faultsweep-smoke wrap-smoke \
-	recovery-smoke timeline-smoke watch-smoke why-smoke bench-diff
+	recovery-smoke timeline-smoke watch-smoke why-smoke qdepth-smoke bench-diff
 
 clean:
 	dune clean

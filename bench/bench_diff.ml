@@ -26,6 +26,7 @@ let snapshots : (string * (string -> unit)) list =
     ("BENCH_TIMELINE.json", fun out -> Bench_timeline.run ~out ());
     ("BENCH_BREAKDOWN.json", fun out -> Bench_breakdown.run ~out ());
     ("BENCH_VOLUMES.json", fun out -> Bench_volumes.run ~out ());
+    ("BENCH_QDEPTH.json", fun out -> Bench_qdepth.run ~out ());
   ]
 
 let scratch_dir = "_build/bench-diff"

@@ -8,7 +8,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|recovery-model|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|recovery|wrap|timeline|breakdown|volumes|diff|all] [--micro] [--out PATH]";
+    "usage: main.exe [table1|table2|table3|table4|table5|recovery-model|group-commit|log-records|vam|model|log-util|vam-logging|log-size|fragmentation|obs-json|clients|faultsweep|recovery|wrap|timeline|breakdown|volumes|qdepth|diff|all] [--micro] [--out PATH]";
   exit 2
 
 let () =
@@ -51,6 +51,7 @@ let () =
     | "timeline" -> Bench_timeline.run ?out ()
     | "breakdown" -> Bench_breakdown.run ?out ()
     | "volumes" -> Bench_volumes.run ?out ()
+    | "qdepth" -> Bench_qdepth.run ?out ()
     | "diff" -> Bench_diff.run ?out ()
     | "all" -> Bench_tables.all ()
     | _ -> usage ()

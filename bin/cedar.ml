@@ -503,11 +503,25 @@ let print_serve_report json r =
   end
 
 let cmd_serve path volumes clients script_file seed think_us rounds json watch
-    open_rate open_ops timeline timeline_csv =
+    open_rate open_ops timeline timeline_csv disk_sched disk_qdepth =
   if clients < 1 then fail "--clients must be at least 1 (got %d)" clients;
   if clients > 99 then fail "--clients is capped at 99 (got %d)" clients;
   if volumes < 1 || volumes > 256 then
     fail "--volumes must be in [1, 256] (got %d)" volumes;
+  if disk_qdepth < 0 || disk_qdepth > 128 then
+    fail "--disk-qdepth must be in [0, 128] (got %d)" disk_qdepth;
+  let sched =
+    match Cedar_disk.Device.policy_of_string disk_sched with
+    | Some p -> p
+    | None ->
+      fail "--disk-sched must be fifo, elevator or sstf (got %s)" disk_sched
+  in
+  (* Boot/recovery always runs synchronously; the request queue is a
+     steady-state knob, applied to each device once its volume is up. *)
+  let apply_queue dev =
+    if disk_qdepth > 0 then
+      Cedar_disk.Device.set_queue dev ~policy:sched ~depth:disk_qdepth
+  in
   let module C = Cedar_workload.Concurrent in
   let scripts =
     match (script_file, open_rate) with
@@ -549,6 +563,9 @@ let cmd_serve path volumes clients script_file seed think_us rounds json watch
     guard (fun () ->
         let clock = Simclock.create () in
         let vset = Cedar_volumes.Volume_set.create_fresh ~clock volumes in
+        for i = 0 to volumes - 1 do
+          apply_queue (Cedar_volumes.Volume_set.device vset i)
+        done;
         let r = Cedar_server.Server.serve_volumes vset scripts in
         print_serve_report json r)
   end
@@ -560,6 +577,7 @@ let cmd_serve path volumes clients script_file seed think_us rounds json watch
         match vol with
         | Cfs_vol _ -> fail "serve requires an FSD volume (group commit is FSD-only)"
         | Fsd_vol fs ->
+          apply_queue (Cedar_fsd.Fsd.device fs);
           let mon =
             if watch || timeline <> None || timeline_csv <> None then
               Some (Cedar_fsd.Fsd.enable_monitor fs)
@@ -945,6 +963,26 @@ let serve_cmd =
       & info [ "timeline-csv" ] ~docv:"PATH"
           ~doc:"write the telemetry timeline as CSV to $(docv) (- for stdout)")
   in
+  let disk_sched =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "disk-sched" ] ~docv:"POLICY"
+          ~doc:
+            "disk request scheduling policy when --disk-qdepth enables the \
+             queue: fifo (arrival order), elevator (sweeping arm) or sstf \
+             (shortest seek first, with an aging bound)")
+  in
+  let disk_qdepth =
+    Arg.(
+      value & opt int 0
+      & info [ "disk-qdepth" ] ~docv:"D"
+          ~doc:
+            "queue up to $(docv) data-path disk requests per device and let \
+             --disk-sched pick the service order (seek time is charged in \
+             service order). 0 (default) keeps the synchronous data path; \
+             depth 1 queues but cannot reorder, so it behaves identically \
+             to 0")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -955,7 +993,8 @@ let serve_cmd =
           same-seed runs produce byte-identical reports)")
     Term.(
       const cmd_serve $ serve_img $ volumes $ clients $ script $ seed $ think
-      $ rounds $ json $ watch $ open_loop $ open_ops $ timeline $ timeline_csv)
+      $ rounds $ json $ watch $ open_loop $ open_ops $ timeline $ timeline_csv
+      $ disk_sched $ disk_qdepth)
 
 let why_cmd =
   let clients =

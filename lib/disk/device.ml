@@ -16,7 +16,35 @@ exception Crash_during_write of { sector : int }
 module Trace = Cedar_obs.Trace
 module Metrics = Cedar_obs.Metrics
 
+type policy = Fifo | Elevator | Sstf
+
+let policy_to_string = function
+  | Fifo -> "fifo"
+  | Elevator -> "elevator"
+  | Sstf -> "sstf"
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "elevator" -> Some Elevator
+  | "sstf" -> Some Sstf
+  | _ -> None
+
+(* SSTF starvation bound: a request passed over this many times is
+   serviced before any nearest-first pick (oldest aged request first). *)
+let sstf_age_limit = 8
+
+type request = {
+  req_id : int; (* 1-based, monotonically increasing; also FIFO order *)
+  req_sector : int;
+  req_count : int;
+  req_write : bool;
+  req_enq_at : int; (* virtual clock at enqueue *)
+  req_span : int; (* trace span of the issuing op, attributed at service *)
+  mutable req_passes : int; (* times passed over by the policy *)
+}
+
 type t = {
+  id : int; (* device id stamped into trace events; volume index in a set *)
   geom : Geometry.t;
   clock : Simclock.t;
   data : (int, bytes) Hashtbl.t; (* sparse; absent = all-zero, never written *)
@@ -25,6 +53,7 @@ type t = {
   stats : Iostats.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  seek_dist : Stats.t; (* cylinders moved per command, in service order *)
   mutable head_cyl : int;
   mutable write_crash : (int * tear) option; (* sectors until trigger, tear *)
   mutable observer : (rw:[ `R | `W ] -> sector:int -> count:int -> unit) option;
@@ -33,9 +62,19 @@ type t = {
      in simulated time. See [set_deferred]. *)
   mutable deferred : bool;
   mutable busy_horizon : int; (* device-local completion time of the last command *)
+  (* Request queue (set_queue): data/label effects still happen at issue,
+     but the mechanical timing of up to [qdepth] outstanding commands is
+     resolved lazily, in the order [qpolicy] picks them. *)
+  mutable qpolicy : policy;
+  mutable qdepth : int; (* < 2 means the queue is off *)
+  mutable queue : request list; (* pending, enqueue (= id) order *)
+  mutable next_req_id : int;
+  req_done : (int, int) Hashtbl.t; (* request id -> service completion time *)
+  mutable sweep_up : bool; (* elevator arm direction *)
 }
 
-let register_gauges metrics (s : Iostats.t) =
+let register_gauges t =
+  let metrics = t.metrics and s = t.stats in
   Metrics.gauge metrics "device.ios" (fun () -> s.Iostats.ios);
   Metrics.gauge metrics "device.reads" (fun () -> s.Iostats.reads);
   Metrics.gauge metrics "device.writes" (fun () -> s.Iostats.writes);
@@ -43,34 +82,47 @@ let register_gauges metrics (s : Iostats.t) =
   Metrics.gauge metrics "device.sectors_written" (fun () -> s.Iostats.sectors_written);
   Metrics.gauge metrics "device.label_ops" (fun () -> s.Iostats.label_ops);
   Metrics.gauge metrics "device.seeks" (fun () -> s.Iostats.seeks);
-  Metrics.gauge metrics "device.busy_us" (fun () -> s.Iostats.busy_us)
+  Metrics.gauge metrics "device.busy_us" (fun () -> s.Iostats.busy_us);
+  Metrics.gauge metrics "device.qdepth" (fun () -> List.length t.queue)
 
-let create ?trace ?metrics ~clock geom =
+let create ?(id = 0) ?trace ?metrics ~clock geom =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let stats = Iostats.create () in
-  register_gauges metrics stats;
-  {
-    geom;
-    clock;
-    data = Hashtbl.create 4096;
-    labels = Hashtbl.create 4096;
-    damaged = Hashtbl.create 16;
-    stats;
-    trace;
-    metrics;
-    head_cyl = 0;
-    write_crash = None;
-    observer = None;
-    deferred = false;
-    busy_horizon = 0;
-  }
+  let t =
+    {
+      id;
+      geom;
+      clock;
+      data = Hashtbl.create 4096;
+      labels = Hashtbl.create 4096;
+      damaged = Hashtbl.create 16;
+      stats;
+      trace;
+      metrics;
+      seek_dist = Metrics.dist metrics "device.seek_cyl";
+      head_cyl = 0;
+      write_crash = None;
+      observer = None;
+      deferred = false;
+      busy_horizon = 0;
+      qpolicy = Fifo;
+      qdepth = 0;
+      queue = [];
+      next_req_id = 1;
+      req_done = Hashtbl.create 256;
+      sweep_up = true;
+    }
+  in
+  register_gauges t;
+  t
 
 let geometry t = t.geom
 let clock t = t.clock
 let stats t = t.stats
 let trace t = t.trace
 let metrics t = t.metrics
+let id t = t.id
 
 let check_sector t s =
   if s < 0 || s >= Geometry.total_sectors t.geom then
@@ -87,20 +139,27 @@ let check_sector t s =
    command starts now and advances the shared clock by its duration; in
    deferred mode it starts when this device's previous command finishes
    ([busy_horizon]), the clock is untouched, and the caller schedules
-   the completion. *)
+   the completion. With a request queue ([set_queue]) the mechanics run
+   even later: at the service point the policy picks for the request,
+   which is where seek distance and arm position are charged. *)
 
-let position t ~sector ~count ~charge_transfer =
+(* The mechanical cost of one command that begins service at [start],
+   from the current arm position. Seek stats, [head_cyl] and the trace
+   events are all charged here — i.e. in service order — and the events
+   are stamped at [start] under [span], the span of the op that issued
+   the command (not whatever op happens to be open at service time). *)
+let mechanics t ~span ~start ~sector ~count ~write =
   let g = t.geom in
-  let now = Simclock.now t.clock in
-  let start = if t.deferred then max now t.busy_horizon else now in
   let chs = Geometry.to_chs g sector in
   let dist = abs (chs.cyl - t.head_cyl) in
   let seek = Geometry.seek_us g dist in
+  Stats.add t.seek_dist (float_of_int dist);
   if dist > 0 then begin
     t.stats.seeks <- t.stats.seeks + 1;
     t.stats.seek_us <- t.stats.seek_us + seek;
     if Trace.enabled t.trace then
-      Trace.emit t.trace ~at:now (Trace.Dev_seek { cylinders = dist; us = seek })
+      Trace.emit_span t.trace ~span ~at:start
+        (Trace.Dev_seek { dev = t.id; cylinders = dist; us = seek })
   end;
   t.head_cyl <- chs.cyl;
   (* Wait for the first target sector to rotate under the head. *)
@@ -111,51 +170,168 @@ let position t ~sector ~count ~charge_transfer =
   let latency = (target_start - phase + rot) mod rot in
   t.stats.rotation_us <- t.stats.rotation_us + latency;
   let transfer = ref 0 in
-  if charge_transfer then begin
-    (* Transfer [count] consecutive sectors, charging head switches and
-       track-to-track seeks at boundaries. *)
-    for i = 0 to count - 1 do
-      let s = sector + i in
-      if i > 0 then begin
-        let here = Geometry.to_chs g s and prev = Geometry.to_chs g (s - 1) in
-        if here.cyl <> prev.cyl then begin
-          (* Crossing a cylinder mid-run: short seek plus realignment. *)
-          transfer := !transfer + Geometry.seek_us g 1 + (rot / 2);
-          t.head_cyl <- here.cyl
-        end
-        else if here.head <> prev.head then
-          (* Head switch absorbed by format skew of one sector. *)
-          transfer := !transfer + g.Geometry.head_switch_us + sector_t
-      end;
-      transfer := !transfer + sector_t
-    done;
-    t.stats.transfer_us <- t.stats.transfer_us + !transfer;
-    t.stats.busy_us <- t.stats.busy_us + seek + latency + !transfer
-  end
-  else t.stats.busy_us <- t.stats.busy_us + seek + latency;
+  (* Transfer [count] consecutive sectors, charging head switches and
+     track-to-track seeks at boundaries. *)
+  for i = 0 to count - 1 do
+    let s = sector + i in
+    if i > 0 then begin
+      let here = Geometry.to_chs g s and prev = Geometry.to_chs g (s - 1) in
+      if here.cyl <> prev.cyl then begin
+        (* Crossing a cylinder mid-run: short seek plus realignment. *)
+        transfer := !transfer + Geometry.seek_us g 1 + (rot / 2);
+        t.head_cyl <- here.cyl
+      end
+      else if here.head <> prev.head then
+        (* Head switch absorbed by format skew of one sector. *)
+        transfer := !transfer + g.Geometry.head_switch_us + sector_t
+    end;
+    transfer := !transfer + sector_t
+  done;
+  t.stats.transfer_us <- t.stats.transfer_us + !transfer;
+  t.stats.busy_us <- t.stats.busy_us + seek + latency + !transfer;
   let dur = seek + latency + !transfer in
-  if t.deferred then t.busy_horizon <- start + dur
-  else Simclock.advance t.clock dur;
+  if Trace.enabled t.trace then
+    Trace.emit_span t.trace ~span ~at:start
+      (if write then Trace.Dev_write { dev = t.id; sector; count; us = dur }
+       else Trace.Dev_read { dev = t.id; sector; count; us = dur });
   dur
 
+(* Non-queued path: service immediately (synchronous) or at this
+   device's busy horizon (deferred). Either way service order is issue
+   order, so the only queue-mode difference is where time is charged. *)
+let run_now t ~sector ~count ~write =
+  let now = Simclock.now t.clock in
+  let start = if t.deferred then max now t.busy_horizon else now in
+  let span = Trace.current_span t.trace in
+  let dur = mechanics t ~span ~start ~sector ~count ~write in
+  if t.deferred then t.busy_horizon <- start + dur
+  else Simclock.advance t.clock dur
+
+(* ------------------------------------------------------------------ *)
+(* Request queue                                                       *)
+
+let queued t = t.qdepth >= 2
+let cyl_of t sector = (Geometry.to_chs t.geom sector).Geometry.cyl
+
+(* Pick the next request to service. Ties (equal distance) go to the
+   earliest-listed request, i.e. FIFO order, keeping every policy
+   deterministic. *)
+let pick t =
+  match t.queue with
+  | [] -> invalid_arg "Device.pick: empty queue"
+  | [ r ] -> r
+  | rs -> (
+    let d r = abs (cyl_of t r.req_sector - t.head_cyl) in
+    let nearest cands =
+      List.fold_left
+        (fun best r -> if d r < d best then r else best)
+        (List.hd cands) (List.tl cands)
+    in
+    match t.qpolicy with
+    | Fifo -> List.hd rs
+    | Sstf -> (
+      (* Aging: any request passed over [sstf_age_limit] times wins,
+         oldest first — the starvation bound. *)
+      match List.filter (fun r -> r.req_passes >= sstf_age_limit) rs with
+      | aged :: _ -> aged
+      | [] -> nearest rs)
+    | Elevator -> (
+      let ahead up =
+        List.filter
+          (fun r -> if up then cyl_of t r.req_sector >= t.head_cyl
+                    else cyl_of t r.req_sector <= t.head_cyl)
+          rs
+      in
+      match ahead t.sweep_up with
+      | [] ->
+        (* Nothing left in this direction: reverse the sweep. *)
+        t.sweep_up <- not t.sweep_up;
+        nearest (match ahead t.sweep_up with [] -> rs | l -> l)
+      | cands -> nearest cands))
+
+let service_one t =
+  let r = pick t in
+  t.queue <- List.filter (fun x -> x.req_id <> r.req_id) t.queue;
+  List.iter (fun x -> x.req_passes <- x.req_passes + 1) t.queue;
+  let start = max (max (Simclock.now t.clock) t.busy_horizon) r.req_enq_at in
+  let dur =
+    mechanics t ~span:r.req_span ~start ~sector:r.req_sector
+      ~count:r.req_count ~write:r.req_write
+  in
+  t.busy_horizon <- start + dur;
+  Hashtbl.replace t.req_done r.req_id (start + dur)
+
+let enqueue t ~sector ~count ~write =
+  (* A full tag queue blocks the host: service until a slot frees up. *)
+  while List.length t.queue >= t.qdepth do
+    service_one t
+  done;
+  let id = t.next_req_id in
+  t.next_req_id <- id + 1;
+  t.queue <-
+    t.queue
+    @ [
+        {
+          req_id = id;
+          req_sector = sector;
+          req_count = count;
+          req_write = write;
+          req_enq_at = Simclock.now t.clock;
+          req_span = Trace.current_span t.trace;
+          req_passes = 0;
+        };
+      ]
+
+let drain_all t =
+  while t.queue <> [] do
+    service_one t
+  done
+
+let request_done_at t req =
+  if req < 1 || req >= t.next_req_id then
+    invalid_arg "Device.request_done_at: unknown request";
+  let rec go () =
+    match Hashtbl.find_opt t.req_done req with
+    | Some at -> at
+    | None ->
+      assert (t.queue <> []);
+      service_one t;
+      go ()
+  in
+  go ()
+
+let requests_done_at t ~first ~last =
+  let worst = ref 0 in
+  for req = first to last do
+    worst := max !worst (request_done_at t req)
+  done;
+  !worst
+
+let issued t = t.next_req_id - 1
+let queue_length t = List.length t.queue
+
+let set_queue t ~policy ~depth =
+  if depth < 1 then invalid_arg "Device.set_queue: depth < 1";
+  drain_all t;
+  t.qpolicy <- policy;
+  t.qdepth <- depth
+
+let queue_config t = (t.qpolicy, t.qdepth)
+
 let charge_read t ~sector ~count =
-  let t0 = Simclock.now t.clock in
-  let us = position t ~sector ~count ~charge_transfer:true in
   t.stats.ios <- t.stats.ios + 1;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.sectors_read <- t.stats.sectors_read + count;
-  if Trace.enabled t.trace then
-    Trace.emit t.trace ~at:t0 (Trace.Dev_read { sector; count; us });
+  if queued t then enqueue t ~sector ~count ~write:false
+  else run_now t ~sector ~count ~write:false;
   match t.observer with Some f -> f ~rw:`R ~sector ~count | None -> ()
 
 let charge_write t ~sector ~count =
-  let t0 = Simclock.now t.clock in
-  let us = position t ~sector ~count ~charge_transfer:true in
   t.stats.ios <- t.stats.ios + 1;
   t.stats.writes <- t.stats.writes + 1;
   t.stats.sectors_written <- t.stats.sectors_written + count;
-  if Trace.enabled t.trace then
-    Trace.emit t.trace ~at:t0 (Trace.Dev_write { sector; count; us });
+  if queued t then enqueue t ~sector ~count ~write:true
+  else run_now t ~sector ~count ~write:true;
   match t.observer with Some f -> f ~rw:`W ~sector ~count | None -> ()
 
 let set_deferred t on = t.deferred <- on
@@ -163,7 +339,14 @@ let deferred t = t.deferred
 
 let busy_until t =
   let now = Simclock.now t.clock in
-  if t.deferred then max now t.busy_horizon else now
+  if queued t then begin
+    (* A force is a synchronization barrier: everything outstanding is
+       serviced (per policy) before the horizon is read. *)
+    drain_all t;
+    max now t.busy_horizon
+  end
+  else if t.deferred then max now t.busy_horizon
+  else now
 
 (* ------------------------------------------------------------------ *)
 (* Raw store                                                           *)
@@ -427,7 +610,7 @@ let dump t oc =
   let b = Bytebuf.Writer.contents w in
   output_bytes oc b
 
-let load ?trace ?metrics ~clock ic =
+let load ?id ?trace ?metrics ~clock ic =
   let len = in_channel_length ic in
   let b = Bytes.create len in
   really_input ic b 0 len;
@@ -455,7 +638,7 @@ let load ?trace ?metrics ~clock ic =
       head_switch_us;
     }
   in
-  let t = create ?trace ?metrics ~clock geom in
+  let t = create ?id ?trace ?metrics ~clock geom in
   let ndata = Bytebuf.Reader.u32 r in
   for _ = 1 to ndata do
     let s = Bytebuf.Reader.u32 r in

@@ -34,6 +34,7 @@ exception Crash_during_write of { sector : int }
     as the machine halting mid-write. *)
 
 val create :
+  ?id:int ->
   ?trace:Cedar_obs.Trace.t ->
   ?metrics:Cedar_obs.Metrics.t ->
   clock:Cedar_util.Simclock.t ->
@@ -41,12 +42,18 @@ val create :
   t
 (** A fresh trace (disabled) and metrics registry are created unless
     supplied; the device registers its [Iostats] fields as
-    ["device.*"] gauges in the registry. Higher layers share the
-    device's trace and registry via {!trace} / {!metrics}. *)
+    ["device.*"] gauges, a ["device.qdepth"] occupancy gauge, and a
+    ["device.seek_cyl"] seek-distance dist in the registry. Higher
+    layers share the device's trace and registry via {!trace} /
+    {!metrics}. [id] (default 0) is stamped into this device's trace
+    events — a multi-volume set numbers its devices by volume index. *)
 
 val geometry : t -> Geometry.t
 val clock : t -> Cedar_util.Simclock.t
 val stats : t -> Iostats.t
+
+val id : t -> int
+(** The device id stamped into [Dev_*] trace events. *)
 
 val trace : t -> Cedar_obs.Trace.t
 (** The volume-wide event trace. Disabled (and allocation-free on the
@@ -78,7 +85,67 @@ val deferred : t -> bool
 val busy_until : t -> int
 (** Completion time of this device's latest command: the virtual instant
     the caller may consume its result. Equals [Simclock.now] in
-    synchronous mode (commands complete before returning). *)
+    synchronous mode (commands complete before returning). With a
+    request queue enabled this is a synchronization barrier: every
+    pending request is serviced (in policy order) first — which is what
+    a group-commit force wants, and why per-request completions go
+    through {!requests_done_at} instead. *)
+
+(** {1 Request queue (disk-arm scheduling)} *)
+
+type policy =
+  | Fifo  (** service in enqueue order — a queue with no reordering *)
+  | Elevator
+      (** SCAN: keep sweeping in one direction, service the nearest
+          request ahead of the arm, reverse when none remain *)
+  | Sstf
+      (** shortest-seek-time-first, with an aging bound: a request
+          passed over 8 times is serviced before any nearest pick, so
+          no request starves behind a hot cylinder *)
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** ["fifo"], ["elevator"], ["sstf"]. *)
+
+val set_queue : t -> policy:policy -> depth:int -> unit
+(** Give the device a request queue of [depth] slots. Data and label
+    effects (contents, crash budget, the observer, count stats) still
+    happen when a command is issued, but its mechanical timing — seek
+    from the {e current} arm position, rotation, transfer — is resolved
+    at the service point the policy picks, so seeks and [head_cyl] are
+    charged in service order. A full queue services one request to
+    free a slot before accepting the next. Any pending requests under
+    the previous configuration are drained first.
+
+    [depth < 2] degenerates to the plain synchronous/deferred path
+    (service order is issue order and nothing is ever outstanding), and
+    is byte-identical to a device without a queue — the determinism pin
+    for the scheduler seam. Raises [Invalid_argument] if [depth < 1]. *)
+
+val queue_config : t -> policy * int
+(** Current [(policy, depth)]; depth 0 until {!set_queue}. *)
+
+val queued : t -> bool
+(** Whether the request queue is live (configured with depth ≥ 2). *)
+
+val queue_length : t -> int
+(** Requests currently pending (also the ["device.qdepth"] gauge). *)
+
+val issued : t -> int
+(** Id of the most recently enqueued request, 0 before any. Ids are
+    dense, so the requests a caller issued during an operation are
+    exactly [issued t + 1 .. issued t'] around it. *)
+
+val request_done_at : t -> int -> int
+(** Completion time of request [id], servicing pending requests (in
+    policy order) until it has run. Raises [Invalid_argument] for an id
+    never issued. *)
+
+val requests_done_at : t -> first:int -> last:int -> int
+(** Latest completion time over the id range — when an op whose
+    commands got those ids may be acknowledged. [first > last] (the op
+    issued nothing) is 0. *)
 
 (** {1 Plain sector I/O (used by FSD and the BSD baseline)} *)
 
@@ -167,6 +234,7 @@ val written_ever : t -> int -> bool
 val dump : t -> out_channel -> unit
 
 val load :
+  ?id:int ->
   ?trace:Cedar_obs.Trace.t ->
   ?metrics:Cedar_obs.Metrics.t ->
   clock:Cedar_util.Simclock.t ->

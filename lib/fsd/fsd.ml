@@ -1169,8 +1169,13 @@ let enable_monitor ?ring ?window ?interval_us t =
   in
   let per_second n v = float_of_int n *. 1e6 /. float_of_int (max 1 v.Monitor.dt_us) in
   Monitor.derive m "sat.device_busy" (fun v ->
-      float_of_int (v.Monitor.delta "device.busy_us")
-      /. float_of_int (max 1 v.Monitor.dt_us));
+      (* Deferred/queued devices charge busy_us on their own horizon,
+         which can run ahead of the sampling clock — an interval may see
+         more busy time than wall time. A fraction above 1.0 just means
+         "saturated"; clamp it so the gauge stays a fraction. *)
+      Float.min 1.0
+        (float_of_int (v.Monitor.delta "device.busy_us")
+        /. float_of_int (max 1 v.Monitor.dt_us)));
   Monitor.derive m "sat.log_third_fill" (fun _ -> Log.third_fill t.log);
   Monitor.derive m "sat.queue_depth" (fun v ->
       float_of_int (v.Monitor.value "server.queue_depth"));
@@ -1458,6 +1463,11 @@ let boot ?params device =
     }
   in
   t_ref := Some t;
+  (* Boot and replay above ran synchronously; only steady-state traffic
+     rides the request queue. *)
+  if p.Params.disk_qdepth > 0 then
+    Device.set_queue device ~policy:p.Params.disk_sched
+      ~depth:p.Params.disk_qdepth;
   let reg = Device.metrics device in
   Metrics.gauge reg "vam.free_sectors" (fun () ->
       Vam.free_count (Alloc.vam t.alloc));

@@ -22,6 +22,8 @@ type t = {
   home_write_fill : float;
   home_writes_per_pass : int;
   monitor_interval_us : int;
+  disk_sched : Device.policy;
+  disk_qdepth : int;
 }
 
 (* Black-box flight-recorder region: two generation slots right after the
@@ -55,6 +57,8 @@ let default =
     home_write_fill = 0.5;
     home_writes_per_pass = 4;
     monitor_interval_us = 100_000;
+    disk_sched = Device.Fifo;
+    disk_qdepth = 0; (* no request queue; data I/O services at issue *)
   }
 
 let for_geometry g =
@@ -104,6 +108,8 @@ let validate g t =
   else if t.home_writes_per_pass < 0 then Error "negative home-write batch size"
   else if t.monitor_interval_us < 1 then
     Error "monitor_interval_us must be at least 1"
+  else if t.disk_qdepth < 0 || t.disk_qdepth > 128 then
+    Error "disk_qdepth outside [0, 128]"
   else if t.fnt_page_sectors < 1 || t.fnt_page_sectors > 16 then
     Error "fnt_page_sectors out of range"
   else if t.log_sectors < 3 + (3 * max_record) then

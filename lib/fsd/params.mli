@@ -63,6 +63,18 @@ type t = {
           enabled via [Fsd.enable_monitor]; the demon itself is off by
           default and costs one branch per demon dispatch while off.
           Must be at least 1. *)
+  disk_sched : Cedar_disk.Device.policy;
+      (** request-queue service policy applied when [disk_qdepth] ≥ 2
+          ([Fifo] | [Elevator] | [Sstf]); irrelevant while the queue is
+          off. *)
+  disk_qdepth : int;
+      (** device request-queue depth, applied to the device at the end
+          of boot via [Device.set_queue]. 0 (default) leaves the queue
+          off — every command services at issue, the historical
+          behaviour; 1 is pinned byte-identical to 0; ≥ 2 lets that
+          many commands (data, label, log, and background home writes
+          alike) float outstanding and be serviced in [disk_sched]
+          order. In [0, 128]. *)
 }
 
 val blackbox_slot_sectors : int

@@ -12,6 +12,10 @@ let tid_device = 2
 let tid_log = 3
 let tid_meta = 4
 
+(* Device 0 keeps the historical track; each further device of a
+   multi-volume set gets its own track well clear of the session tids. *)
+let tid_device_stride = 100
+
 (* Server sessions each get their own track so the viewer shows the
    interleaving: spans opened with op "sessionNN" land on track
    [tid_session_base + NN], as do that session's commit waits. *)
@@ -116,17 +120,20 @@ let chrome ?(samples = []) entries =
           (* The begin fell off the ring; an instant marks the orphan end. *)
           push (instant ~name:("end:" ^ op) ~cat:"op" ~ts ~tid:tid_ops [])
       end
-      | Trace.Dev_read { sector; count; us } ->
+      | Trace.Dev_read { dev; sector; count; us } ->
         push
-          (complete ~name:"read" ~cat:"device" ~ts ~dur:us ~tid:tid_device
+          (complete ~name:"read" ~cat:"device" ~ts ~dur:us
+             ~tid:(tid_device + (dev * tid_device_stride))
              [ ("sector", Jsonb.Int sector); ("count", Jsonb.Int count) ])
-      | Trace.Dev_write { sector; count; us } ->
+      | Trace.Dev_write { dev; sector; count; us } ->
         push
-          (complete ~name:"write" ~cat:"device" ~ts ~dur:us ~tid:tid_device
+          (complete ~name:"write" ~cat:"device" ~ts ~dur:us
+             ~tid:(tid_device + (dev * tid_device_stride))
              [ ("sector", Jsonb.Int sector); ("count", Jsonb.Int count) ])
-      | Trace.Dev_seek { cylinders; us } ->
+      | Trace.Dev_seek { dev; cylinders; us } ->
         push
-          (complete ~name:"seek" ~cat:"device" ~ts ~dur:us ~tid:tid_device
+          (complete ~name:"seek" ~cat:"device" ~ts ~dur:us
+             ~tid:(tid_device + (dev * tid_device_stride))
              [ ("cylinders", Jsonb.Int cylinders) ])
       | Trace.Log_append { record_no; units; data_sectors; total_sectors; third } ->
         push

@@ -1,7 +1,7 @@
 type event =
-  | Dev_read of { sector : int; count : int; us : int }
-  | Dev_write of { sector : int; count : int; us : int }
-  | Dev_seek of { cylinders : int; us : int }
+  | Dev_read of { dev : int; sector : int; count : int; us : int }
+  | Dev_write of { dev : int; sector : int; count : int; us : int }
+  | Dev_seek of { dev : int; cylinders : int; us : int }
   | Log_append of {
       record_no : int64;
       units : int;
@@ -88,6 +88,9 @@ let emit_in t ~span ~at event =
 let emit t ~at event =
   if t.on then ignore (emit_in t ~span:(current_span t) ~at event : int)
 
+let emit_span t ~span ~at event =
+  if t.on then ignore (emit_in t ~span ~at event : int)
+
 let begin_span t ~at ~op ~name =
   if not t.on then 0
   else begin
@@ -139,18 +142,21 @@ module W = Cedar_util.Bytebuf.Writer
 module R = Cedar_util.Bytebuf.Reader
 
 let encode_event w = function
-  | Dev_read { sector; count; us } ->
+  | Dev_read { dev; sector; count; us } ->
     W.u8 w 0;
+    W.u8 w dev;
     W.u32 w sector;
     W.u32 w count;
     W.i64 w us
-  | Dev_write { sector; count; us } ->
+  | Dev_write { dev; sector; count; us } ->
     W.u8 w 1;
+    W.u8 w dev;
     W.u32 w sector;
     W.u32 w count;
     W.i64 w us
-  | Dev_seek { cylinders; us } ->
+  | Dev_seek { dev; cylinders; us } ->
     W.u8 w 2;
+    W.u8 w dev;
     W.u32 w cylinders;
     W.i64 w us
   | Log_append { record_no; units; data_sectors; total_sectors; third } ->
@@ -239,19 +245,22 @@ let encode_event w = function
 let decode_event r =
   match R.u8 r with
   | 0 ->
+    let dev = R.u8 r in
     let sector = R.u32 r in
     let count = R.u32 r in
     let us = R.i64 r in
-    Dev_read { sector; count; us }
+    Dev_read { dev; sector; count; us }
   | 1 ->
+    let dev = R.u8 r in
     let sector = R.u32 r in
     let count = R.u32 r in
     let us = R.i64 r in
-    Dev_write { sector; count; us }
+    Dev_write { dev; sector; count; us }
   | 2 ->
+    let dev = R.u8 r in
     let cylinders = R.u32 r in
     let us = R.i64 r in
-    Dev_seek { cylinders; us }
+    Dev_seek { dev; cylinders; us }
   | 3 ->
     let record_no = R.u64 r in
     let units = R.u16 r in
@@ -344,12 +353,14 @@ let decode_entry r =
   { seq; span; at_us; event = decode_event r }
 
 let pp_event ppf = function
-  | Dev_read { sector; count; us } ->
-    Format.fprintf ppf "dev-read sector=%d count=%d us=%d" sector count us
-  | Dev_write { sector; count; us } ->
-    Format.fprintf ppf "dev-write sector=%d count=%d us=%d" sector count us
-  | Dev_seek { cylinders; us } ->
-    Format.fprintf ppf "dev-seek cylinders=%d us=%d" cylinders us
+  | Dev_read { dev; sector; count; us } ->
+    Format.fprintf ppf "dev-read dev=%d sector=%d count=%d us=%d" dev sector
+      count us
+  | Dev_write { dev; sector; count; us } ->
+    Format.fprintf ppf "dev-write dev=%d sector=%d count=%d us=%d" dev sector
+      count us
+  | Dev_seek { dev; cylinders; us } ->
+    Format.fprintf ppf "dev-seek dev=%d cylinders=%d us=%d" dev cylinders us
   | Log_append { record_no; units; data_sectors; total_sectors; third } ->
     Format.fprintf ppf
       "log-append record=%Ld units=%d data-sectors=%d total-sectors=%d third=%d"

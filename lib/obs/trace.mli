@@ -15,10 +15,17 @@
     overwritten and counted in {!dropped}. *)
 
 type event =
-  | Dev_read of { sector : int; count : int; us : int }
-  | Dev_write of { sector : int; count : int; us : int }
-  | Dev_seek of { cylinders : int; us : int }
-      (** Arm movement charged as part of the following command. *)
+  | Dev_read of { dev : int; sector : int; count : int; us : int }
+  | Dev_write of { dev : int; sector : int; count : int; us : int }
+      (** One device command, stamped at the instant the device begins
+          servicing it ([dev] is the device id — volume index in a
+          multi-volume set). In deferred/queued mode service start is
+          the busy horizon, not issue time, so commands on one device
+          never overlap. *)
+  | Dev_seek of { dev : int; cylinders : int; us : int }
+      (** Arm movement charged as part of the following command, in
+          {e service} order (reordering policies move the arm in the
+          order requests are picked, not enqueued). *)
   | Log_append of {
       record_no : int64;
       units : int;
@@ -114,6 +121,15 @@ val clear : t -> unit
 val emit : t -> at:int -> event -> unit
 (** Record an event at virtual time [at] under the current span.
     No-op when disabled. *)
+
+val emit_span : t -> span:int -> at:int -> event -> unit
+(** Record an event under an explicit span rather than the innermost
+    open one. Queued device requests are serviced long after the op
+    that issued them returned — the device captures {!current_span} at
+    enqueue and attributes the eventual service events with it. *)
+
+val current_span : t -> int
+(** The innermost open span id, 0 at top level (or when disabled). *)
 
 val begin_span : t -> at:int -> op:string -> name:string -> int
 (** Open a span for operation [op] on file [name]; records an

@@ -85,6 +85,13 @@ type state =
   | Ready
   | Thinking of { until : int }
   | Parked of { vol : int; token : Fsd.token; since : int; op : Concurrent.op }
+  | Iowait of { vol : int; first : int; last : int }
+      (* The op finished executing but its device requests [first..last]
+         sit in volume [vol]'s request queue; the session is
+         acknowledged at their (policy-ordered) service completion. The
+         scheduler resolves these lazily — once no session is runnable —
+         so requests from many sessions accumulate in the queue first,
+         which is exactly the window a reordering policy exploits. *)
   | Done
 
 type session = {
@@ -124,6 +131,11 @@ type vol = {
      parallelism comes from. False for the single-volume degenerate
      case, whose devices stay synchronous (byte-identical history). *)
   v_par : bool;
+  (* Request queue live on the device ([Params.disk_qdepth] ≥ 2): ops
+     with outstanding requests go to [Iowait] instead of parking on the
+     busy horizon, and forces/acks measure through [busy_until]'s drain
+     barrier. *)
+  v_queue : bool;
   mutable v_dead : bool;  (* quarantined after a planted crash (V > 1) *)
   mutable v_crash_sector : int;  (* valid when v_dead *)
   mutable v_last_durable : int;
@@ -133,6 +145,8 @@ type vol = {
   mutable v_acked : int;
   v_commit_wait_us : Stats.t;
   v_batch_size : Stats.t;
+  (* Per-op end-to-end latency (arrival to ack), every op kind. *)
+  v_op_latency_us : Stats.t;
   c_reject_queue_full : Metrics.counter;
   c_reject_backpressure : Metrics.counter;
   c_retries : Metrics.counter;
@@ -244,7 +258,7 @@ let quarantine t v ~sector =
   Array.iter
     (fun s ->
       match s.state with
-      | Parked { vol; _ } when vol = v.v_id ->
+      | (Parked { vol; _ } | Iowait { vol; _ }) when vol = v.v_id ->
         s.aborted <- Some reason;
         s.steps <- [];
         s.state <- Done
@@ -269,13 +283,16 @@ let force_vol t v =
   v.v_forces <- v.v_forces + 1;
   (match t.cfg.on_force with Some f -> f t.forces | None -> ());
   let t0 = now t in
-  let b0 = if v.v_par then Cedar_disk.Device.busy_until v.v_dev else t0 in
+  let par = v.v_par || v.v_queue in
+  let b0 = if par then Cedar_disk.Device.busy_until v.v_dev else t0 in
   guarded t v (fun () -> Fsd.force v.v_fsd);
   v.v_last_force_us <-
-    (* Deferred device: the force's writes queued on the device timeline
-       instead of advancing the clock, so its duration is the horizon
-       delta; synchronous: the clock moved, as it always did. *)
-    (if v.v_par then Cedar_disk.Device.busy_until v.v_dev - b0 else now t - t0)
+    (* Deferred/queued device: the force's writes queued on the device
+       timeline instead of advancing the clock, so its duration is the
+       horizon delta (busy_until drains any queued requests first — a
+       force is a synchronization barrier); synchronous: the clock
+       moved, as it always did. *)
+    (if par then Cedar_disk.Device.busy_until v.v_dev - b0 else now t - t0)
 
 (* An explicit client [Force]: flush every live volume, index order. *)
 let force_all t =
@@ -304,7 +321,7 @@ let poll_wakes t =
                    stamped there and the session keeps waiting (as a
                    Thinking park) until the clock catches up. *)
                 let done_at =
-                  if v.v_par then
+                  if v.v_par || v.v_queue then
                     max at (Cedar_disk.Device.busy_until v.v_dev)
                   else at
                 in
@@ -333,6 +350,7 @@ let poll_wakes t =
                   Trace.emit t.trace ~at:done_at
                     (Trace.Op_acked { client = s.client; opseq = s.opseq })
                 end;
+                Stats.add v.v_op_latency_us (float_of_int (done_at - s.arrival_us));
                 s.arrival_us <- done_at;
                 t.acked_rev <- (s.client, op) :: t.acked_rev;
                 (match t.cfg.on_ack with
@@ -435,6 +453,9 @@ let run_op t v s op =
         ~name:(Concurrent.op_name op)
     else 0
   in
+  (* With a request queue, the op's device commands become requests
+     [r0 + 1 .. issued] — the range the session's ack waits on. *)
+  let r0 = if v.v_queue then Cedar_disk.Device.issued v.v_dev else 0 in
   let token =
     Fun.protect
       ~finally:(fun () -> Trace.end_span t.trace ~at:(now t) span)
@@ -469,9 +490,14 @@ let run_op t v s op =
      advancing the clock, so its result is only available at the busy
      horizon — the session parks (Thinking) until then, which is what
      lets other volumes' sessions run in the meantime. Synchronous
-     devices complete before returning: done_at = t_end, no park. *)
+     devices complete before returning: done_at = t_end, no park. With
+     a request queue, completion is per request, resolved lazily: the
+     session goes to Iowait instead and [resolve_iowait] stamps its ack
+     when the queue services its requests. *)
   let done_at =
-    if v.v_par then max t_end (Cedar_disk.Device.busy_until v.v_dev) else t_end
+    if v.v_par && not v.v_queue then
+      max t_end (Cedar_disk.Device.busy_until v.v_dev)
+    else t_end
   in
   let park_to_completion () =
     if done_at > t_end then s.state <- Thinking { until = done_at }
@@ -480,27 +506,36 @@ let run_op t v s op =
     if Trace.enabled t.trace then
       Trace.emit t.trace ~at:done_at
         (Trace.Op_acked { client = s.client; opseq = s.opseq });
+    Stats.add v.v_op_latency_us (float_of_int (done_at - s.arrival_us));
     s.arrival_us <- done_at
   in
+  (* Ack at execute end, or wait on the op's outstanding requests. *)
+  let ack_or_iowait () =
+    let last = if v.v_queue then Cedar_disk.Device.issued v.v_dev else 0 in
+    if v.v_queue && last > r0 then
+      s.state <- Iowait { vol = v.v_id; first = r0 + 1; last }
+    else begin
+      ack_now ();
+      park_to_completion ()
+    end
+  in
   if s.state = Done then ()
-  else if token = Fsd.always_durable then begin
+  else if token = Fsd.always_durable then
     (* Reads, lists, explicit forces and client errors: the lifecycle
-       ends at execute completion, no park window. *)
-    ack_now ();
-    park_to_completion ()
-  end
+       ends at execute completion — or at the service completion of the
+       op's queued requests — with no commit-wait park window. *)
+    ack_or_iowait ()
   else if Fsd.token_durable v.v_fsd token then
     (* A mid-op force (the bulk-trigger backstop) already covered the
-       mutation: acknowledge with zero commit wait, no park. *)
+       mutation: acknowledge with zero commit wait, no commit park. *)
     begin
       s.mutations <- s.mutations + 1;
       v.v_acked <- v.v_acked + 1;
       Metrics.inc v.c_acked;
       Stats.add v.v_commit_wait_us 0.;
-      ack_now ();
       t.acked_rev <- (s.client, op) :: t.acked_rev;
       (match t.cfg.on_ack with Some f -> f ~client:s.client ~op | None -> ());
-      park_to_completion ()
+      ack_or_iowait ()
     end
   else s.state <- Parked { vol = v.v_id; token; since = t_end; op }
 
@@ -596,7 +631,7 @@ let runnable t (s : session) =
   match s.state with
   | Ready -> true
   | Thinking { until } -> until <= now t
-  | Parked _ | Done -> false
+  | Parked _ | Iowait _ | Done -> false
 
 (* Round-robin: scan from the cursor so no session can monopolise the
    scheduler — after k steps every runnable session has run at least
@@ -641,7 +676,7 @@ let next_event_time t =
     (fun acc s ->
       match s.state with
       | Thinking { until } -> min acc until
-      | Parked _ | Ready | Done -> acc)
+      | Parked _ | Iowait _ | Ready | Done -> acc)
     demons t.sessions
 
 (* All remaining work is parked sessions whose scripts are exhausted:
@@ -654,8 +689,36 @@ let only_drain_left t =
          match s.state with
          | Done -> true
          | Parked _ -> s.steps = []
-         | Ready | Thinking _ -> false)
+         | Iowait _ | Ready | Thinking _ -> false)
        t.sessions
+
+(* Resolve every Iowait session: service (in policy order) until its
+   request range is done, stamp the ack there. Runs only once no session
+   is runnable — the point of lazy resolution is that requests from many
+   sessions pile up in the device queue first, giving a reordering
+   policy something to reorder. Sessions are resolved in index order,
+   which keeps the drain deterministic. Returns whether any resolved. *)
+let resolve_iowait t =
+  let any = ref false in
+  Array.iter
+    (fun s ->
+      match s.state with
+      | Iowait { vol; first; last } ->
+        any := true;
+        let v = t.vols.(vol) in
+        let done_at =
+          Cedar_disk.Device.requests_done_at v.v_dev ~first ~last
+        in
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~at:done_at
+            (Trace.Op_acked { client = s.client; opseq = s.opseq });
+        Stats.add v.v_op_latency_us (float_of_int (done_at - s.arrival_us));
+        s.arrival_us <- done_at;
+        s.state <-
+          (if done_at > now t then Thinking { until = done_at } else Ready)
+      | _ -> ())
+    t.sessions;
+  !any
 
 (* Flush every live volume still owing acks, index order. *)
 let force_drain t =
@@ -703,6 +766,7 @@ let create_volumes ?(config = default_config) vset scripts =
           v_fsd = fsd;
           v_dev = dev;
           v_par = Cedar_disk.Device.deferred dev;
+          v_queue = Cedar_disk.Device.queued dev;
           v_dead = false;
           v_crash_sector = -1;
           v_last_durable = Fsd.durable_seq fsd;
@@ -712,6 +776,7 @@ let create_volumes ?(config = default_config) vset scripts =
           v_acked = 0;
           v_commit_wait_us = Metrics.dist m "server.commit_wait_us";
           v_batch_size = Metrics.dist m "server.batch_size";
+          v_op_latency_us = Metrics.dist m "server.op_latency_us";
           c_reject_queue_full = Metrics.counter m "server.rejects.queue_full";
           c_reject_backpressure = Metrics.counter m "server.rejects.backpressure";
           c_retries = Metrics.counter m "server.retries";
@@ -755,13 +820,20 @@ let run t =
       (match next_runnable t with
       | Some s -> step t s
       | None ->
-        if only_drain_left t then force_drain t
+        if resolve_iowait t then ()
+        else if only_drain_left t then force_drain t
         else Simclock.advance_to t.clock (next_event_time t));
       schedule_point t;
       loop ()
     end
   in
   loop ();
+  (* Background demon writes may still sit in a request queue; service
+     them so the device stats the caller reads cover the whole run. *)
+  Array.iter
+    (fun v ->
+      if v.v_queue then ignore (Cedar_disk.Device.busy_until v.v_dev : int))
+    t.vols;
   let duration_us = now t - t0 in
   let vol_log_forces v = (Fsd.counters v.v_fsd).Fsd.forces - v.v_forces0 in
   let log_forces = Array.fold_left (fun n v -> n + vol_log_forces v) 0 t.vols in

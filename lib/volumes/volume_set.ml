@@ -63,7 +63,8 @@ let create_fresh ?(geom = Geometry.trident_t300) ?params ?trace ?metrics ~clock
   let devices =
     Array.init count (fun i ->
         let d =
-          Device.create ~trace ~metrics:(scoped_view ~count metrics i) ~clock geom
+          Device.create ~id:i ~trace
+            ~metrics:(scoped_view ~count metrics i) ~clock geom
         in
         (* Several volumes = several spindles: deferred timing lets their
            commands overlap in simulated time instead of serialising on
@@ -77,6 +78,11 @@ let create_fresh ?(geom = Geometry.trident_t300) ?params ?trace ?metrics ~clock
       (fun i device ->
         Fsd.format device { base with Params.shard_id = i };
         let fs, _report = Fsd.boot device in
+        (* Boot ran with default runtime knobs; the request-queue knobs
+           live in [base], so apply them here. *)
+        if base.Params.disk_qdepth > 0 then
+          Device.set_queue device ~policy:base.Params.disk_sched
+            ~depth:base.Params.disk_qdepth;
         fs)
       devices
   in

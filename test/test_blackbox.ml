@@ -26,9 +26,9 @@ let fresh_volume ?(geom = Geometry.small_test) () =
 
 let sample_events =
   [
-    Trace.Dev_read { sector = 17; count = 4; us = 12_000 };
-    Trace.Dev_write { sector = 293_617; count = 21; us = 50_658 };
-    Trace.Dev_seek { cylinders = 406; us = 40_082 };
+    Trace.Dev_read { dev = 0; sector = 17; count = 4; us = 12_000 };
+    Trace.Dev_write { dev = 3; sector = 293_617; count = 21; us = 50_658 };
+    Trace.Dev_seek { dev = 255; cylinders = 406; us = 40_082 };
     Trace.Log_append
       {
         record_no = 1_000_001L;

@@ -221,6 +221,95 @@ let test_same_cylinder_no_seek () =
   done;
   check int "no arm movement within a cylinder" seeks0 (Device.stats d).Iostats.seeks
 
+(* ------------------------------------------------------------------ *)
+(* Request queue: scheduling policies                                  *)
+
+(* Hand-computed elevator service order. Head starts at cylinder 0,
+   sweeping up; requests arrive for cylinders 10, 2, 5 (in that order).
+   The elevator sweeps 0 -> 2 -> 5 -> 10 while FIFO pays 10 -> 2 -> 5,
+   so the totals are exact, known seek sums. *)
+let test_elevator_hand_computed () =
+  let g = Geometry.small_test in
+  let per_cyl = Geometry.sectors_per_cylinder g in
+  let run policy =
+    let _, d = mk () in
+    Device.set_queue d ~policy ~depth:4;
+    List.iter (fun c -> ignore (Device.read d (c * per_cyl))) [ 10; 2; 5 ];
+    ignore (Device.busy_until d : int);
+    (Device.stats d).Iostats.seek_us
+  in
+  let sk = Geometry.seek_us g in
+  check int "elevator: 0->2->5->10" (sk 2 + sk 3 + sk 5) (run Device.Elevator);
+  check int "sstf picks the same sweep here" (sk 2 + sk 3 + sk 5)
+    (run Device.Sstf);
+  check int "fifo: 0->10->2->5" (sk 10 + sk 8 + sk 3) (run Device.Fifo);
+  check bool "elevator strictly beats fifo" true
+    (sk 2 + sk 3 + sk 5 < sk 10 + sk 8 + sk 3)
+
+(* SSTF aging: a request at the far edge of the disk must not starve
+   behind a stream of near-cylinder requests. With the aging bound it is
+   serviced within [sstf_age_limit] passes, i.e. well before the tail of
+   the stream; without it, nearest-first would service it dead last. *)
+let test_sstf_starvation_bound () =
+  let g = Geometry.small_test in
+  let per_cyl = Geometry.sectors_per_cylinder g in
+  let _, d = mk () in
+  Device.set_queue d ~policy:Device.Sstf ~depth:4;
+  (* Request 1: the far edge. Then 40 requests hugging cylinder 0. *)
+  ignore (Device.read d ((g.Geometry.cylinders - 1) * per_cyl));
+  for i = 1 to 40 do
+    ignore (Device.read d (i mod per_cyl))
+  done;
+  ignore (Device.busy_until d : int);
+  (* Service completion times are monotone in service order, so "done
+     before request 20" means the far request was picked within ~12
+     services (queue depth 4 + aging bound 8) of arriving. *)
+  check bool "far request services within the aging bound" true
+    (Device.request_done_at d 1 < Device.request_done_at d 20);
+  check bool "far request is not serviced last" true
+    (Device.request_done_at d 1 < Device.request_done_at d 41)
+
+(* The determinism pin for the scheduler seam: a device with a FIFO
+   queue of depth 1 is byte-identical to one with no queue at all —
+   same clock, same stats, same completion horizon. *)
+let test_fifo_depth1_identical_to_sync () =
+  let run with_queue =
+    let clock, d = mk () in
+    if with_queue then Device.set_queue d ~policy:Device.Fifo ~depth:1;
+    let g = Device.geometry d in
+    let rng = Rng.create 99 in
+    for _ = 1 to 200 do
+      let s = Rng.int rng (Geometry.total_sectors g) in
+      if Rng.bool rng then ignore (Device.read d s)
+      else Device.write d s (Bytes.make g.Geometry.sector_bytes 'q')
+    done;
+    (Simclock.now clock, Device.busy_until d, Iostats.copy (Device.stats d))
+  in
+  let now_q, busy_q, st_q = run true in
+  let now_s, busy_s, st_s = run false in
+  check int "clock identical" now_s now_q;
+  check int "busy_until identical" busy_s busy_q;
+  let d = Iostats.diff ~after:st_q ~before:st_s in
+  check bool "iostats identical" true
+    (d.Iostats.ios = 0 && d.Iostats.busy_us = 0 && d.Iostats.seek_us = 0
+    && d.Iostats.rotation_us = 0 && d.Iostats.transfer_us = 0
+    && d.Iostats.seeks = 0)
+
+(* A full queue blocks the host: the depth cap forces a service to free
+   a slot, so occupancy never exceeds the configured depth. *)
+let test_queue_depth_cap () =
+  let g = Geometry.small_test in
+  let per_cyl = Geometry.sectors_per_cylinder g in
+  let _, d = mk () in
+  Device.set_queue d ~policy:Device.Elevator ~depth:3;
+  for i = 0 to 9 do
+    ignore (Device.read d (i * 7 mod (per_cyl * 4)));
+    check bool "occupancy bounded by depth" true (Device.queue_length d <= 3)
+  done;
+  ignore (Device.busy_until d : int);
+  check int "drained" 0 (Device.queue_length d);
+  check int "every command charged" 10 (Device.stats d).Iostats.reads
+
 let suite =
   [
     ("geometry chs roundtrip", `Quick, test_geometry_chs_roundtrip);
@@ -239,4 +328,8 @@ let suite =
     ("observer", `Quick, test_observer);
     ("timing invariants", `Quick, test_timing_invariants);
     ("same cylinder needs no seek", `Quick, test_same_cylinder_no_seek);
+    ("elevator hand-computed seeks", `Quick, test_elevator_hand_computed);
+    ("sstf starvation bound", `Quick, test_sstf_starvation_bound);
+    ("fifo depth-1 = synchronous", `Quick, test_fifo_depth1_identical_to_sync);
+    ("queue depth cap", `Quick, test_queue_depth_cap);
   ]

@@ -216,6 +216,45 @@ let test_sampling_is_io_free () =
   check int "identical device I/O with the monitor on" ios_off ios_on;
   check int "identical virtual end time" t_off t_on
 
+(* A deferred/queued device charges busy time on its own horizon, which
+   can run ahead of the sampling clock: one interval may see more busy
+   microseconds than wall microseconds. The gauge must clamp at 1.0
+   (saturated) rather than report a fraction above one (ISSUE 10
+   bugfix). *)
+let test_device_busy_clamped () =
+  let clock = Simclock.create () in
+  let device = Device.create ~clock Geometry.small_test in
+  Fsd.format device (Params.for_geometry Geometry.small_test);
+  let fs, _ = Fsd.boot device in
+  Device.set_deferred device true;
+  Device.set_queue device ~policy:Device.Sstf ~depth:8;
+  let mon = Fsd.enable_monitor ~interval_us:1_000 fs in
+  let busy0 =
+    Option.value ~default:0 (Metrics.read (Device.metrics device) "device.busy_us")
+  in
+  (* A burst of large creates back to back: the deferred device does all
+     the work on its horizon while the clock stands still. *)
+  for i = 0 to 11 do
+    ignore (Fsd.create fs ~name:(Printf.sprintf "b/f%02d" i) (Bytes.make 6_000 'z'))
+  done;
+  Fsd.force fs;
+  (* One short interval elapses; the monitor samples it. *)
+  Fsd.tick fs ~us:1_000;
+  check bool "monitor sampled" true (Monitor.total mon > 0);
+  let s =
+    match Monitor.last_sample mon with
+    | Some s -> s
+    | None -> Alcotest.fail "no sample retained"
+  in
+  let busy1 = List.assoc "device.busy_us" s.Monitor.gauges in
+  check bool
+    (Printf.sprintf "device busy delta (%d us) overran the interval (%d us)"
+       (busy1 - busy0) s.Monitor.dt_us)
+    true
+    (busy1 - busy0 > s.Monitor.dt_us);
+  check close "sat.device_busy clamps to 1.0" 1.0
+    (List.assoc "sat.device_busy" s.Monitor.derived)
+
 let test_monitor_toggle () =
   let _device, fs = small_fs () in
   check bool "off by default" true (Fsd.monitor fs = None);
@@ -286,6 +325,7 @@ let suite =
     ("ring eviction", `Quick, test_ring_eviction);
     ("timeline determinism end-to-end", `Quick, test_timeline_determinism);
     ("sampling performs zero device I/O", `Quick, test_sampling_is_io_free);
+    ("sat.device_busy clamps at 1.0", `Quick, test_device_busy_clamped);
     ("enable/disable round trip", `Quick, test_monitor_toggle);
     ("open-loop generator", `Quick, test_open_loop_generator);
     ("open-loop replays cleanly", `Quick, test_open_loop_replays_cleanly);

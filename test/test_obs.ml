@@ -65,9 +65,10 @@ let test_span_nesting () =
   let outer = Trace.begin_span tr ~at:0 ~op:"outer" ~name:"o" in
   Trace.emit tr ~at:1 (Trace.Leader_piggyback { sector = 7 });
   let inner = Trace.begin_span tr ~at:2 ~op:"inner" ~name:"i" in
-  Trace.emit tr ~at:3 (Trace.Dev_read { sector = 0; count = 1; us = 5 });
+  Trace.emit tr ~at:3 (Trace.Dev_read { dev = 0; sector = 0; count = 1; us = 5 });
   Trace.end_span tr ~at:4 inner;
-  Trace.emit tr ~at:5 (Trace.Dev_write { sector = 0; count = 1; us = 5 });
+  Trace.emit tr ~at:5
+    (Trace.Dev_write { dev = 0; sector = 0; count = 1; us = 5 });
   Trace.end_span tr ~at:6 outer;
   match Trace.to_list tr with
   | [ a; b; c; d; e; f; g ] ->
